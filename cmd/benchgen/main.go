@@ -1,0 +1,58 @@
+// Command benchgen emits the paper's benchmark suite as OpenQASM 2.0 files:
+// the five NISQ benchmarks of Table II and (optionally) the 120-circuit
+// random suite.
+//
+// Usage:
+//
+//	benchgen [-out DIR] [-random]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"muzzle"
+	"muzzle/internal/bench"
+	"muzzle/internal/qasm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "benchmarks", "output directory")
+	includeRandom := flag.Bool("random", false, "also emit the 120-circuit random suite")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range muzzle.Benchmarks() {
+		c := spec.Build()
+		path := filepath.Join(*out, spec.Name+".qasm")
+		if err := qasm.WriteFile(path, c); err != nil {
+			return err
+		}
+		fmt.Printf("%-40s %3d qubits %5d 2Q gates\n", path, spec.Qubits, spec.Gates2Q)
+	}
+	if *includeRandom {
+		dir := filepath.Join(*out, "random")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for i, c := range bench.RandomSuite(bench.DefaultRandomSuiteParams()) {
+			path := filepath.Join(dir, fmt.Sprintf("random_%03d.qasm", i))
+			if err := qasm.WriteFile(path, c); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%s: 120 random circuits written\n", dir)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command evaltables regenerates the paper's evaluation artifacts on the
+// paper's hardware model (L6, capacity 17, communication capacity 2):
+// Table II (shuttle reduction), Fig. 8 (program fidelity improvement), and
+// Table III (compilation time overhead).
+//
+// Usage:
+//
+//	evaltables [-random N] [-table 2|3] [-fig 8] [-progress]
+//
+// Without -table/-fig selectors, all three artifacts are printed. -random N
+// limits the random suite to its first N circuits (0 = all 120); the full
+// suite takes a minute or two.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"muzzle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaltables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	randomLimit := flag.Int("random", 0, "evaluate only the first N random circuits (0 = all 120)")
+	table := flag.Int("table", 0, "print only this table (2 or 3)")
+	fig := flag.Int("fig", 0, "print only this figure (8)")
+	progress := flag.Bool("progress", false, "print per-circuit progress")
+	noRandom := flag.Bool("norandom", false, "skip the random suite entirely")
+	flag.Parse()
+
+	opt := muzzle.DefaultEvalOptions()
+	opt.RandomLimit = *randomLimit
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+
+	fmt.Fprintln(os.Stderr, "evaluating 5 NISQ benchmarks on L6 (capacity 17, comm 2)...")
+	nisq, err := muzzle.EvaluateNISQ(opt)
+	if err != nil {
+		return err
+	}
+	var random []*muzzle.EvalResult
+	if !*noRandom {
+		n := *randomLimit
+		if n == 0 {
+			n = 120
+		}
+		fmt.Fprintf(os.Stderr, "evaluating %d random circuits...\n", n)
+		random, err = muzzle.EvaluateRandom(opt)
+		if err != nil {
+			return err
+		}
+	}
+
+	all := *table == 0 && *fig == 0
+	if all || *table == 2 {
+		fmt.Println(muzzle.FormatTableII(nisq, random))
+	}
+	if all || *fig == 8 {
+		fmt.Println(muzzle.FormatFigure8(nisq, random))
+	}
+	if all || *table == 3 {
+		fmt.Println(muzzle.FormatTableIII(nisq, random))
+	}
+	fmt.Println(muzzle.FormatSummary(nisq, random))
+	return nil
+}

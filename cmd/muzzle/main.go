@@ -1,0 +1,133 @@
+// Command muzzle compiles an OpenQASM 2.0 circuit for a multi-trap
+// trapped-ion machine and reports shuttle statistics, optionally comparing
+// the paper's optimized compiler against the QCCDSim-style baseline and
+// exporting the schedule.
+//
+// Usage:
+//
+//	muzzle [flags] circuit.qasm
+//
+// Flags:
+//
+//	-traps N        number of traps in the linear topology (default 6)
+//	-capacity N     total trap capacity (default 17)
+//	-comm N         communication capacity (default 2)
+//	-compiler NAME  "optimized" (default), "baseline", or "both"
+//	-proximity N    future-ops proximity window (default 6; -1 unbounded)
+//	-json FILE      write the optimized schedule as JSON
+//	-render         print trap-occupancy snapshots
+//	-sim            simulate and print duration/fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"muzzle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "muzzle:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	traps := flag.Int("traps", 6, "number of traps in the linear topology")
+	capacity := flag.Int("capacity", 17, "total trap capacity")
+	comm := flag.Int("comm", 2, "communication capacity")
+	which := flag.String("compiler", "optimized", `compiler: "optimized", "baseline", or "both"`)
+	proximity := flag.Int("proximity", 0, "future-ops proximity window (0 = paper default 6, -1 = unbounded)")
+	jsonPath := flag.String("json", "", "write the compiled schedule as JSON to this file")
+	svgPath := flag.String("svg", "", "write a trap x time Gantt chart SVG to this file")
+	render := flag.Bool("render", false, "print trap-occupancy snapshots")
+	simulate := flag.Bool("sim", false, "simulate and print duration/fidelity")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("expected exactly one QASM file, got %d args", flag.NArg())
+	}
+	c, err := muzzle.ParseQASMFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := muzzle.LinearMachine(*traps, *capacity, *comm)
+	fmt.Printf("circuit %s: %d qubits, %d gates (%d two-qubit)\n",
+		c.Name, c.NumQubits, len(c.Gates), c.Count2Q())
+
+	report := func(label string, comp *muzzle.Compiler) (*muzzle.CompileResult, error) {
+		res, err := comp.Compile(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		fmt.Printf("%-10s shuttles=%d swaps=%d reorders=%d rebalances=%d compile=%v (direction=%s)\n",
+			label, res.Shuttles, res.Swaps, res.Reorders, res.Rebalances,
+			res.CompileTime.Round(time.Microsecond), res.DirectionPolicy)
+		if *simulate {
+			rep, err := muzzle.Simulate(res)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("%-10s duration=%.1fus logFidelity=%.4f fidelity=%.3g maxChainN=%.2f\n",
+				label, rep.Duration, rep.LogFidelity, rep.Fidelity, rep.MaxChainN)
+		}
+		return res, nil
+	}
+
+	var opt *muzzle.CompileResult
+	switch *which {
+	case "optimized":
+		opt, err = report("optimized", muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{Proximity: *proximity}))
+	case "baseline":
+		opt, err = report("baseline", muzzle.NewBaselineCompiler())
+	case "both":
+		var base *muzzle.CompileResult
+		base, err = report("baseline", muzzle.NewBaselineCompiler())
+		if err != nil {
+			return err
+		}
+		opt, err = report("optimized", muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{Proximity: *proximity}))
+		if err == nil && base.Shuttles > 0 {
+			fmt.Printf("reduction: %d shuttles (%.2f%%)\n",
+				base.Shuttles-opt.Shuttles,
+				100*float64(base.Shuttles-opt.Shuttles)/float64(base.Shuttles))
+		}
+	default:
+		return fmt.Errorf("unknown -compiler %q", *which)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *render {
+		if err := muzzle.RenderTrace(os.Stdout, opt); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := muzzle.WriteTraceJSON(f, opt); err != nil {
+			return err
+		}
+		fmt.Printf("schedule written to %s\n", *jsonPath)
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := muzzle.WriteScheduleSVG(f, opt); err != nil {
+			return err
+		}
+		fmt.Printf("timeline written to %s\n", *svgPath)
+	}
+	return nil
+}

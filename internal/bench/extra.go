@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+
+	"muzzle/internal/circuit"
+)
+
+// Additional NISQ kernels beyond the paper's Table II suite. The QCCDSim
+// benchmark collection (Murali et al., ISCA 2020) also evaluates
+// Bernstein-Vazirani and adder circuits; they exercise connectivity
+// patterns the Table II five do not: BV is a *star* (every 2Q gate shares
+// one ancilla — the worst case for co-location policies), the Cuccaro adder
+// is a strictly nearest-neighbor *ripple*, and GHZ is a single CX chain.
+// The extended integration tests and ablation studies use them.
+
+// BernsteinVazirani builds the BV circuit for an n-bit secret whose bits
+// are taken from the binary expansion of `secret`: H layer, CX from each
+// set secret bit into the ancilla (qubit n), final H layer. All two-qubit
+// gates target the single ancilla.
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("BV%d", n), n+1)
+	anc := n
+	c.Add1Q("x", anc)
+	for q := 0; q <= n; q++ {
+		c.Add1Q("h", q)
+	}
+	for q := 0; q < n; q++ {
+		if secret&(1<<uint(q)) != 0 {
+			c.Add2Q("cx", q, anc)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Add1Q("h", q)
+	}
+	for q := 0; q < n; q++ {
+		c.MustAppend(circuit.Gate{Name: "measure", Qubits: []int{q}})
+	}
+	return c
+}
+
+// CuccaroAdder builds the ripple-carry adder of Cuccaro et al. for two
+// n-bit registers: qubits [0..n) hold a, [n..2n) hold b, qubit 2n is the
+// incoming carry ancilla and 2n+1 the final carry-out. The MAJ/UMA ladder
+// uses CX and CCX (Toffoli) gates between neighbors in the interleaved
+// layout — the canonical short-range arithmetic workload.
+func CuccaroAdder(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("bench: adder needs at least 1 bit")
+	}
+	c := circuit.New(fmt.Sprintf("Adder%d", n), 2*n+2)
+	a := func(i int) int { return i }
+	b := func(i int) int { return n + i }
+	cin := 2 * n
+	cout := 2*n + 1
+	maj := func(x, y, z int) {
+		c.Add2Q("cx", z, y)
+		c.Add2Q("cx", z, x)
+		c.MustAppend(circuit.Gate{Name: "ccx", Qubits: []int{x, y, z}})
+	}
+	uma := func(x, y, z int) {
+		c.MustAppend(circuit.Gate{Name: "ccx", Qubits: []int{x, y, z}})
+		c.Add2Q("cx", z, x)
+		c.Add2Q("cx", x, y)
+	}
+	maj(cin, b(0), a(0))
+	for i := 1; i < n; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.Add2Q("cx", a(n-1), cout)
+	for i := n - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+	return c
+}
+
+// GHZ builds the n-qubit GHZ-state preparation: H on qubit 0 followed by a
+// CX chain — the minimal linear-entanglement workload.
+func GHZ(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("bench: GHZ needs at least 2 qubits")
+	}
+	c := circuit.New(fmt.Sprintf("GHZ%d", n), n)
+	c.Add1Q("h", 0)
+	for i := 0; i+1 < n; i++ {
+		c.Add2Q("cx", i, i+1)
+	}
+	return c
+}
+
+// ExtendedCatalog returns the additional kernels sized for the paper's L6
+// machine, complementing Catalog for wider integration testing.
+func ExtendedCatalog() []Spec {
+	return []Spec{
+		{Name: "BV64", Qubits: 65, Gates2Q: 32, Build: func() *circuit.Circuit {
+			return BernsteinVazirani(64, 0x5555555555555555) // alternating bits: 32 CX
+		}},
+		// Adder(n): 2n MAJ/UMA Toffolis (6 MS each) + 4n+1 plain CX = 16n+1.
+		{Name: "Adder16", Qubits: 34, Gates2Q: 16*16 + 1, Build: func() *circuit.Circuit {
+			return CuccaroAdder(16)
+		}},
+		{Name: "GHZ64", Qubits: 64, Gates2Q: 63, Build: func() *circuit.Circuit {
+			return GHZ(64)
+		}},
+	}
+}

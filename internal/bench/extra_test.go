@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"testing"
+
+	"muzzle/internal/circuit"
+)
+
+func TestBernsteinVaziraniStarPattern(t *testing.T) {
+	c := BernsteinVazirani(8, 0b10110101)
+	if c.NumQubits != 9 {
+		t.Errorf("qubits = %d, want 9", c.NumQubits)
+	}
+	// One CX per set secret bit, all targeting the ancestor ancilla.
+	cx := 0
+	for _, g := range c.Gates {
+		if g.Name != "cx" {
+			continue
+		}
+		cx++
+		if g.Qubits[1] != 8 {
+			t.Errorf("CX target = %d, want ancilla 8", g.Qubits[1])
+		}
+	}
+	if cx != 5 { // popcount(0b10110101) = 5
+		t.Errorf("CX count = %d, want 5", cx)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernsteinVaziraniZeroSecret(t *testing.T) {
+	c := BernsteinVazirani(4, 0)
+	if c.Count2Q() != 0 {
+		t.Error("zero secret should have no 2Q gates")
+	}
+}
+
+func TestCuccaroAdderCounts(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		c := CuccaroAdder(n)
+		if c.NumQubits != 2*n+2 {
+			t.Errorf("Adder(%d) qubits = %d, want %d", n, c.NumQubits, 2*n+2)
+		}
+		// 4n+1 CX and 2n CCX -> 16n+1 MS after decomposition.
+		if got, want := Count2QNative(c), 16*n+1; got != want {
+			t.Errorf("Adder(%d) MS count = %d, want %d", n, got, want)
+		}
+		d, err := circuit.Decompose(c)
+		if err != nil {
+			t.Fatalf("Adder(%d): %v", n, err)
+		}
+		if d.Count2Q() != 16*n+1 {
+			t.Errorf("Adder(%d) decomposed = %d", n, d.Count2Q())
+		}
+	}
+}
+
+func TestCuccaroAdderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Adder(0) should panic")
+		}
+	}()
+	CuccaroAdder(0)
+}
+
+func TestGHZChain(t *testing.T) {
+	c := GHZ(10)
+	if c.Count2Q() != 9 {
+		t.Errorf("GHZ(10) CX count = %d, want 9", c.Count2Q())
+	}
+	for _, g := range c.Gates {
+		if g.Is2Q() && g.Qubits[1] != g.Qubits[0]+1 {
+			t.Errorf("non-chain gate %v", g)
+		}
+	}
+}
+
+func TestGHZPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GHZ(1) should panic")
+		}
+	}()
+	GHZ(1)
+}
+
+func TestExtendedCatalogCounts(t *testing.T) {
+	for _, s := range ExtendedCatalog() {
+		c := s.Build()
+		if c.NumQubits != s.Qubits {
+			t.Errorf("%s qubits = %d, want %d", s.Name, c.NumQubits, s.Qubits)
+		}
+		if got := Count2QNative(c); got != s.Gates2Q {
+			t.Errorf("%s 2Q = %d, want %d", s.Name, got, s.Gates2Q)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestToffoliDecomposition(t *testing.T) {
+	c := circuit.New("t", 3)
+	c.MustAppend(circuit.Gate{Name: "ccx", Qubits: []int{0, 1, 2}})
+	d, err := circuit.Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Count2Q(); got != 6 {
+		t.Errorf("Toffoli MS count = %d, want 6", got)
+	}
+	if circuit.MSCost("ccx") != 6 {
+		t.Error("MSCost(ccx) != 6")
+	}
+	for _, g := range d.Gates {
+		if !circuit.IsNative(g.Name) {
+			t.Errorf("non-native %q in Toffoli decomposition", g.Name)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package circuit provides the quantum-circuit intermediate representation
+// used throughout the compiler: gates, circuits, and qubit bookkeeping.
+//
+// A circuit is an ordered list of gates over a fixed-size qubit register.
+// Two-qubit gates are what drive shuttle traffic in a multi-trap trapped-ion
+// machine, so the IR keeps two-qubit structure explicit and cheap to query.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateKind classifies a gate by arity and role.
+type GateKind int
+
+const (
+	// Kind1Q is a single-qubit gate (rotations, Hadamard, ...).
+	Kind1Q GateKind = iota
+	// Kind2Q is a two-qubit entangling gate (MS, CX, CZ, CP, ...).
+	Kind2Q
+	// KindBarrier is a scheduling barrier; it spans qubits but performs no
+	// physical operation.
+	KindBarrier
+	// KindMeasure is a terminal measurement on one qubit.
+	KindMeasure
+)
+
+// String returns a human-readable kind name.
+func (k GateKind) String() string {
+	switch k {
+	case Kind1Q:
+		return "1q"
+	case Kind2Q:
+		return "2q"
+	case KindBarrier:
+		return "barrier"
+	case KindMeasure:
+		return "measure"
+	default:
+		return fmt.Sprintf("GateKind(%d)", int(k))
+	}
+}
+
+// Gate is a single operation in a circuit. Qubit operands are indices into
+// the circuit's register. Params carries rotation angles where relevant.
+type Gate struct {
+	// Name is the gate mnemonic, lower-case ("ms", "cx", "h", "rz", ...).
+	Name string
+	// Qubits are the operand qubit indices. Length 1 for 1Q gates and
+	// measurements, 2 for 2Q gates, >=1 for barriers.
+	Qubits []int
+	// Params are rotation angles in radians, if any.
+	Params []float64
+}
+
+// Kind derives the gate kind from the mnemonic and operand count.
+func (g Gate) Kind() GateKind {
+	switch g.Name {
+	case "barrier":
+		return KindBarrier
+	case "measure":
+		return KindMeasure
+	}
+	if len(g.Qubits) == 2 {
+		return Kind2Q
+	}
+	return Kind1Q
+}
+
+// Is2Q reports whether the gate is a two-qubit entangling gate.
+func (g Gate) Is2Q() bool { return g.Kind() == Kind2Q }
+
+// Uses reports whether the gate acts on qubit q.
+func (g Gate) Uses(q int) bool {
+	for _, o := range g.Qubits {
+		if o == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Other returns the partner operand of q in a two-qubit gate. It panics if
+// the gate is not 2Q or does not use q; callers must check first.
+func (g Gate) Other(q int) int {
+	if len(g.Qubits) != 2 {
+		panic(fmt.Sprintf("circuit: Other on %d-qubit gate %q", len(g.Qubits), g.Name))
+	}
+	switch q {
+	case g.Qubits[0]:
+		return g.Qubits[1]
+	case g.Qubits[1]:
+		return g.Qubits[0]
+	}
+	panic(fmt.Sprintf("circuit: gate %q does not use qubit %d", g.Name, q))
+}
+
+// String renders the gate in a QASM-like form.
+func (g Gate) String() string {
+	var b strings.Builder
+	b.WriteString(g.Name)
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", p)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(' ')
+	for i, q := range g.Qubits {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "q[%d]", q)
+	}
+	return b.String()
+}
+
+// Circuit is an ordered gate list over a register of NumQubits qubits.
+type Circuit struct {
+	// Name identifies the circuit (benchmark name, file stem, ...).
+	Name string
+	// NumQubits is the register size. All gate operands must be in
+	// [0, NumQubits).
+	NumQubits int
+	// Gates is the program order.
+	Gates []Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(name string, n int) *Circuit {
+	return &Circuit{Name: name, NumQubits: n}
+}
+
+// Append adds a gate, validating operands against the register.
+func (c *Circuit) Append(g Gate) error {
+	if len(g.Qubits) == 0 {
+		return fmt.Errorf("circuit %q: gate %q has no operands", c.Name, g.Name)
+	}
+	seen := make(map[int]bool, len(g.Qubits))
+	for _, q := range g.Qubits {
+		if q < 0 || q >= c.NumQubits {
+			return fmt.Errorf("circuit %q: gate %q operand q[%d] outside register of size %d", c.Name, g.Name, q, c.NumQubits)
+		}
+		if seen[q] && g.Name != "barrier" {
+			return fmt.Errorf("circuit %q: gate %q repeats operand q[%d]", c.Name, g.Name, q)
+		}
+		seen[q] = true
+	}
+	c.Gates = append(c.Gates, g)
+	return nil
+}
+
+// MustAppend is Append that panics on error; for use in generators and tests
+// where operands are constructed, not parsed.
+func (c *Circuit) MustAppend(g Gate) {
+	if err := c.Append(g); err != nil {
+		panic(err)
+	}
+}
+
+// Add1Q appends a single-qubit gate.
+func (c *Circuit) Add1Q(name string, q int, params ...float64) {
+	c.MustAppend(Gate{Name: name, Qubits: []int{q}, Params: params})
+}
+
+// Add2Q appends a two-qubit gate.
+func (c *Circuit) Add2Q(name string, a, b int, params ...float64) {
+	c.MustAppend(Gate{Name: name, Qubits: []int{a, b}, Params: params})
+}
+
+// Count2Q returns the number of two-qubit gates.
+func (c *Circuit) Count2Q() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Is2Q() {
+			n++
+		}
+	}
+	return n
+}
+
+// Count1Q returns the number of single-qubit gates.
+func (c *Circuit) Count1Q() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind() == Kind1Q {
+			n++
+		}
+	}
+	return n
+}
+
+// TwoQubitGates returns the indices (into Gates) of all 2Q gates, in order.
+func (c *Circuit) TwoQubitGates() []int {
+	var idx []int
+	for i, g := range c.Gates {
+		if g.Is2Q() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// UsedQubits returns the sorted set of qubits touched by at least one gate.
+func (c *Circuit) UsedQubits() []int {
+	used := make([]bool, c.NumQubits)
+	for _, g := range c.Gates {
+		for _, q := range g.Qubits {
+			used[q] = true
+		}
+	}
+	var out []int
+	for q, u := range used {
+		if u {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// InteractionCount returns, for each unordered qubit pair that shares at
+// least one 2Q gate, the number of such gates. Keys are packed as a*n+b with
+// a < b where n = NumQubits.
+func (c *Circuit) InteractionCount() map[int]int {
+	m := make(map[int]int)
+	for _, g := range c.Gates {
+		if !g.Is2Q() {
+			continue
+		}
+		a, b := g.Qubits[0], g.Qubits[1]
+		if a > b {
+			a, b = b, a
+		}
+		m[a*c.NumQubits+b]++
+	}
+	return m
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		ng := Gate{Name: g.Name}
+		ng.Qubits = append([]int(nil), g.Qubits...)
+		if len(g.Params) > 0 {
+			ng.Params = append([]float64(nil), g.Params...)
+		}
+		out.Gates[i] = ng
+	}
+	return out
+}
+
+// Validate checks every gate's operands; it returns the first problem found.
+func (c *Circuit) Validate() error {
+	if c.NumQubits <= 0 {
+		return fmt.Errorf("circuit %q: non-positive register size %d", c.Name, c.NumQubits)
+	}
+	for i, g := range c.Gates {
+		if len(g.Qubits) == 0 {
+			return fmt.Errorf("circuit %q: gate %d (%q) has no operands", c.Name, i, g.Name)
+		}
+		seen := make(map[int]bool, len(g.Qubits))
+		for _, q := range g.Qubits {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("circuit %q: gate %d (%q) operand q[%d] outside register of size %d", c.Name, i, g.Name, q, c.NumQubits)
+			}
+			if seen[q] && g.Name != "barrier" {
+				return fmt.Errorf("circuit %q: gate %d (%q) repeats operand q[%d]", c.Name, i, g.Name, q)
+			}
+			seen[q] = true
+		}
+	}
+	return nil
+}
+
+// Depth returns the circuit depth counting only gate layers: the length of
+// the longest chain of gates sharing qubits.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		if g.Kind() == KindBarrier {
+			continue
+		}
+		l := 0
+		for _, q := range g.Qubits {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		l++
+		for _, q := range g.Qubits {
+			level[q] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// String renders the circuit one gate per line.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %q (%d qubits, %d gates)\n", c.Name, c.NumQubits, len(c.Gates))
+	for i, g := range c.Gates {
+		fmt.Fprintf(&b, "%4d: %s\n", i, g.String())
+	}
+	return b.String()
+}

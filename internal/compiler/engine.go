@@ -1,0 +1,396 @@
+package compiler
+
+import (
+	"fmt"
+	"time"
+
+	"muzzle/internal/circuit"
+	"muzzle/internal/dag"
+	"muzzle/internal/machine"
+)
+
+// Default engine limits; see the complexity discussions in paper
+// Sections III-A4, III-B1, III-C3 — lookahead and re-order scans are what
+// keep the O(n^2) worst case tractable in practice.
+const (
+	// DefaultLookahead caps how many upcoming 2Q gates a policy sees.
+	DefaultLookahead = 512
+	// DefaultMaxReorderChain caps consecutive Algorithm-1 hoists without an
+	// executed gate, preventing livelock between mutually-blocking gates.
+	DefaultMaxReorderChain = 25
+	// DefaultMaxRebalanceDepth caps the evictions spent resolving the
+	// traffic blocks of a single routing operation.
+	DefaultMaxRebalanceDepth = 64
+)
+
+// Compiler compiles circuits for a multi-trap machine using the configured
+// policies. The zero value is not usable; Direction and Rebalancer are
+// mandatory, Reorderer is optional (the baseline compiler has none).
+type Compiler struct {
+	Direction  Direction
+	Reorderer  Reorderer
+	Rebalancer Rebalancer
+	// Lookahead caps remaining-gate scans (0 means DefaultLookahead).
+	Lookahead int
+	// MaxReorderChain caps consecutive hoists (0 means default).
+	MaxReorderChain int
+	// MaxRebalanceDepth caps recursive rebalancing (0 means default).
+	MaxRebalanceDepth int
+}
+
+// Result is the outcome of one compilation.
+type Result struct {
+	// Circ is the decomposed native-gate circuit that was scheduled.
+	Circ *circuit.Circuit
+	// Config is the machine the program was compiled for.
+	Config machine.Config
+	// InitialPlacement is the starting trap contents (ion chains).
+	InitialPlacement [][]int
+	// Ops is the full execution trace (gates + shuttle primitives).
+	Ops []machine.Op
+	// Order is the final gate execution order (indices into Circ.Gates).
+	Order []int
+	// Shuttles is the number of MOVE operations — the paper's headline
+	// metric (Table II).
+	Shuttles int
+	// Swaps, Splits, Merges count the other shuttle primitives.
+	Swaps, Splits, Merges int
+	// Gates2Q and Gates1Q count executed gates.
+	Gates2Q, Gates1Q int
+	// Reorders counts Algorithm-1 hoists performed.
+	Reorders int
+	// Rebalances counts traffic-block resolutions performed.
+	Rebalances int
+	// CompileTime is the wall-clock compilation duration (Table III).
+	CompileTime time.Duration
+	// DirectionPolicy, RebalancePolicy, ReorderPolicy record the policy
+	// names for reporting.
+	DirectionPolicy, RebalancePolicy, ReorderPolicy string
+}
+
+func (c *Compiler) lookahead() int {
+	if c.Lookahead > 0 {
+		return c.Lookahead
+	}
+	return DefaultLookahead
+}
+
+func (c *Compiler) maxReorderChain() int {
+	if c.MaxReorderChain > 0 {
+		return c.MaxReorderChain
+	}
+	return DefaultMaxReorderChain
+}
+
+func (c *Compiler) maxRebalanceDepth() int {
+	if c.MaxRebalanceDepth > 0 {
+		return c.MaxRebalanceDepth
+	}
+	return DefaultMaxRebalanceDepth
+}
+
+// Compile decomposes circ to the native gate set, computes a greedy initial
+// placement, and schedules the program.
+func (c *Compiler) Compile(circ *circuit.Circuit, cfg machine.Config) (*Result, error) {
+	native, err := circuit.Decompose(circ)
+	if err != nil {
+		return nil, err
+	}
+	placement, err := GreedyPlacement(native, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.CompileMapped(native, cfg, placement)
+}
+
+// CompileMapped schedules an already-native circuit from an explicit initial
+// placement. placement[t] lists the ions (== qubit ids) initially in trap t.
+func (c *Compiler) CompileMapped(native *circuit.Circuit, cfg machine.Config, placement [][]int) (*Result, error) {
+	start := time.Now()
+	if c.Direction == nil || c.Rebalancer == nil {
+		return nil, fmt.Errorf("compiler: Direction and Rebalancer policies are mandatory")
+	}
+	if err := native.Validate(); err != nil {
+		return nil, err
+	}
+	for i, g := range native.Gates {
+		if !circuit.IsNative(g.Name) {
+			return nil, fmt.Errorf("compiler: gate %d (%q) is not native; call Compile or Decompose first", i, g.Name)
+		}
+	}
+	st, err := machine.NewState(cfg, placement)
+	if err != nil {
+		return nil, err
+	}
+	if st.NumIons() < native.NumQubits {
+		return nil, fmt.Errorf("compiler: placement has %d ions, circuit needs %d", st.NumIons(), native.NumQubits)
+	}
+
+	e := &engine{
+		c:   c,
+		st:  st,
+		ctx: &Context{State: st, Graph: dag.Build(native), Circ: native, Executed: make([]bool, len(native.Gates))},
+	}
+	res := &Result{
+		Circ:             native,
+		Config:           cfg,
+		InitialPlacement: st.Snapshot(),
+		DirectionPolicy:  c.Direction.Name(),
+		RebalancePolicy:  c.Rebalancer.Name(),
+	}
+	if c.Reorderer != nil {
+		res.ReorderPolicy = c.Reorderer.Name()
+	}
+	if err := e.run(res); err != nil {
+		return nil, err
+	}
+	if err := st.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("compiler: post-compile invariant violation: %w", err)
+	}
+	res.Ops = st.Ops()
+	res.Shuttles = st.Shuttles()
+	res.Swaps = st.OpCount(machine.OpSwap)
+	res.Splits = st.OpCount(machine.OpSplit)
+	res.Merges = st.OpCount(machine.OpMerge)
+	res.Gates2Q = st.OpCount(machine.OpGate2Q)
+	res.Gates1Q = st.OpCount(machine.OpGate1Q)
+	res.CompileTime = time.Since(start)
+	return res, nil
+}
+
+// engine carries the mutable compilation loop state.
+type engine struct {
+	c   *Compiler
+	st  *machine.State
+	ctx *Context
+	res *Result
+}
+
+func (e *engine) run(res *Result) error {
+	e.res = res
+	n := len(e.ctx.Circ.Gates)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	cursor := 0
+	reorderChain := 0
+	for cursor < n {
+		active := order[cursor]
+		g := e.ctx.Circ.Gates[active]
+		switch g.Kind() {
+		case circuit.KindBarrier:
+			e.finish(active, &cursor, &reorderChain)
+		case circuit.Kind1Q, circuit.KindMeasure:
+			e.st.ApplyGate1Q(g.Name, g.Qubits[0], active)
+			e.finish(active, &cursor, &reorderChain)
+		case circuit.Kind2Q:
+			qa, qb := g.Qubits[0], g.Qubits[1]
+			hoisted, err := e.coLocate(active, qa, qb, order, cursor, reorderChain)
+			if err != nil {
+				return fmt.Errorf("compiler: gate %d (%s): %w", active, g, err)
+			}
+			if hoisted {
+				reorderChain++
+				res.Reorders++
+				continue // the hoisted gate is the new active gate
+			}
+			if err := e.st.ApplyGate2Q(g.Name, qa, qb, active); err != nil {
+				return err
+			}
+			e.finish(active, &cursor, &reorderChain)
+		}
+	}
+	res.Order = order
+	return nil
+}
+
+// maxCoLocateAttempts bounds the direction/route retry loop; a retry only
+// happens in the rare case a rebalance evicted the active gate's partner.
+const maxCoLocateAttempts = 8
+
+// coLocate brings the active gate's ions into one trap. It returns
+// hoisted=true if, instead of shuttling, a pending gate was re-ordered in
+// front of the active gate (Algorithm 1) — in that case the caller must
+// re-enter the loop without advancing the cursor.
+func (e *engine) coLocate(active, qa, qb int, order []int, cursor, reorderChain int) (bool, error) {
+	e.ctx.Protected = []int{qa, qb}
+	defer func() { e.ctx.Protected = nil }()
+	for attempt := 0; !e.st.CoLocated(qa, qb); attempt++ {
+		if attempt >= maxCoLocateAttempts {
+			return false, fmt.Errorf("could not co-locate ions %d and %d after %d attempts", qa, qb, attempt)
+		}
+		remaining := Remaining2Q(e.ctx, order, cursor, e.c.lookahead(), -1)
+		moveIon, dest := e.c.Direction.Choose(e.ctx, active, qa, qb, remaining)
+		if err := validateDecision(e.ctx, qa, qb, moveIon, dest); err != nil {
+			return false, err
+		}
+		if attempt == 0 && e.st.IsFull(dest) && e.c.Reorderer != nil && reorderChain < e.c.maxReorderChain() {
+			if pos := e.c.Reorderer.Candidate(e.ctx, order, cursor, dest); pos > cursor {
+				hoist(order, cursor, pos)
+				return true, nil
+			}
+		}
+		if e.st.IsFull(dest) {
+			// The favorable destination stays full (no re-ordering
+			// opportunity): moving the partner the other way costs one
+			// shuttle, whereas evicting a bystander costs at least two
+			// (eviction + the original move). Flip the direction when the
+			// opposite trap has room; only when both traps are full does
+			// the engine fall through to re-balancing.
+			other := qa
+			if moveIon == qa {
+				other = qb
+			}
+			if otherDest := e.st.IonTrap(moveIon); !e.st.IsFull(otherDest) {
+				moveIon, dest = other, otherDest
+			}
+		}
+		budget := e.c.maxRebalanceDepth()
+		if err := e.routeWithRebalance(moveIon, dest, remaining, &budget); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// finish marks a gate executed and advances the cursor.
+func (e *engine) finish(active int, cursor *int, reorderChain *int) {
+	e.ctx.Executed[active] = true
+	*cursor++
+	*reorderChain = 0
+}
+
+// validateDecision guards against mis-behaving policies.
+func validateDecision(ctx *Context, qa, qb, moveIon, dest int) error {
+	if moveIon != qa && moveIon != qb {
+		return fmt.Errorf("compiler: direction policy chose ion %d, not an operand of (%d,%d)", moveIon, qa, qb)
+	}
+	other := qa
+	if moveIon == qa {
+		other = qb
+	}
+	if got := ctx.State.IonTrap(other); got != dest {
+		return fmt.Errorf("compiler: direction policy chose destination T%d, but partner ion %d is in T%d", dest, other, got)
+	}
+	return nil
+}
+
+// hoist moves order[pos] to position cursor, shifting the slice right.
+func hoist(order []int, cursor, pos int) {
+	v := order[pos]
+	copy(order[cursor+1:pos+1], order[cursor:pos])
+	order[cursor] = v
+}
+
+// routeWithRebalance shuttles ion toward dest one hop at a time, resolving
+// traffic blocks (full traps on the path, including dest itself) through
+// the Rebalancer. The eviction budget is shared across the whole routing
+// operation, bounding cascades; evicted ions are steered away from the
+// remainder of this route via the Rebalancer's avoid list so a cascade
+// cannot re-block the path it is clearing.
+func (e *engine) routeWithRebalance(ion, dest int, remaining []int, budget *int) error {
+	topo := e.st.Config().Topology
+	for e.st.IonTrap(ion) != dest {
+		cur := e.st.IonTrap(ion)
+		next := topo.NextHop(cur, dest)
+		if e.st.IsFull(next) {
+			// The evicted ion should not land on the rest of our path (the
+			// traps strictly after next, destination included).
+			avoid := topo.Path(next, dest)[1:]
+			if err := e.ensureSpace(next, remaining, avoid, budget); err != nil {
+				return err
+			}
+		}
+		if err := e.st.Hop(ion, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureSpace frees one slot in the full trap `blocked`. The Rebalancer
+// picks the victim ion and the destination trap; the engine realizes the
+// eviction as a *hole shift*: it finds the first trap with room along the
+// path toward the destination and shifts one ion forward per intervening
+// trap, propagating the hole back to `blocked`. Every move lands in a trap
+// with room by construction, so the resolution never recurses and always
+// terminates — including on saturated corridors where naive re-routing
+// would cycle between two full traps. When the corridor toward the
+// destination is open, the victim completes the full journey, preserving
+// the baseline policy's (wasteful) long hauls that Fig. 7 illustrates.
+func (e *engine) ensureSpace(blocked int, remaining []int, avoid []int, budget *int) error {
+	if *budget <= 0 {
+		return fmt.Errorf("rebalance budget exhausted at trap %d", blocked)
+	}
+	*budget--
+	victim, victimDest, err := e.c.Rebalancer.Choose(e.ctx, blocked, remaining, avoid)
+	if err != nil {
+		return fmt.Errorf("traffic block at trap %d unresolvable: %w", blocked, err)
+	}
+	if e.st.IonTrap(victim) != blocked {
+		return fmt.Errorf("rebalancer chose ion %d outside blocked trap %d", victim, blocked)
+	}
+	if victimDest == blocked {
+		return fmt.Errorf("rebalancer chose blocked trap %d as destination", blocked)
+	}
+	e.res.Rebalances++
+	topo := e.st.Config().Topology
+	path := topo.Path(blocked, victimDest)
+	hole := -1
+	for i := 1; i < len(path); i++ {
+		if !e.st.IsFull(path[i]) {
+			hole = i
+			break
+		}
+	}
+	if hole < 0 {
+		return fmt.Errorf("rebalancer chose full trap %d as destination", victimDest)
+	}
+	// Shift one ion forward from each trap between the hole and blocked,
+	// moving the hole adjacent to blocked.
+	for i := hole; i >= 2; i-- {
+		shifted := e.shiftIon(path[i-1], path[i])
+		if err := e.st.Hop(shifted, path[i]); err != nil {
+			return err
+		}
+	}
+	if err := e.st.Hop(victim, path[1]); err != nil {
+		return err
+	}
+	// Open corridor: let the victim finish the journey the policy asked
+	// for, stopping early if a full trap intervenes (the block is already
+	// resolved at this point; the remainder is policy faithfulness).
+	for e.st.IonTrap(victim) != victimDest {
+		next := topo.NextHop(e.st.IonTrap(victim), victimDest)
+		if e.st.IsFull(next) {
+			break
+		}
+		if err := e.st.Hop(victim, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shiftIon picks the ion to shift from trap `from` into adjacent trap `to`
+// during a hole shift: the chain-edge ion facing the direction of travel
+// (zero intra-chain swaps), skipping engine-protected ions when possible.
+func (e *engine) shiftIon(from, to int) int {
+	chain := e.st.Chain(from)
+	n := len(chain)
+	pick := chain[0]
+	for i := 0; i < n; i++ {
+		idx := i
+		if to > from {
+			idx = n - 1 - i
+		}
+		if i == 0 {
+			pick = chain[idx]
+		}
+		if !e.ctx.IsProtected(chain[idx]) {
+			return chain[idx]
+		}
+	}
+	return pick
+}

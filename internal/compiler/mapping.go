@@ -1,0 +1,104 @@
+package compiler
+
+import (
+	"fmt"
+
+	"muzzle/internal/circuit"
+	"muzzle/internal/machine"
+)
+
+// GreedyPlacement computes the initial qubit-to-trap mapping using the
+// greedy policy of Murali et al. (ASPLOS 2019), which the paper adopts
+// unchanged for both compilers (Section IV-E3: "we used popular greedy
+// initial mapping policy [14]").
+//
+// Qubits are considered in order of first appearance in a 2Q gate (then any
+// remaining qubits in index order). Each qubit is placed into the trap —
+// among those below the initial-load limit (capacity minus communication
+// capacity) — that maximizes the number of 2Q gates shared with qubits
+// already placed there; ties prefer the emptier trap, then the lower index.
+// Qubit i becomes ion i; the returned placement[t] lists the ions of trap t
+// in insertion order.
+func GreedyPlacement(c *circuit.Circuit, cfg machine.Config) ([][]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nTraps := cfg.Topology.NumTraps()
+	maxLoad := cfg.MaxInitialLoad()
+	if c.NumQubits > nTraps*maxLoad {
+		return nil, fmt.Errorf("compiler: %d qubits exceed machine initial capacity %d (%d traps x %d)",
+			c.NumQubits, nTraps*maxLoad, nTraps, maxLoad)
+	}
+
+	// Interaction weights between qubit pairs.
+	weight := make([]map[int]int, c.NumQubits)
+	for i := range weight {
+		weight[i] = map[int]int{}
+	}
+	firstSeen := make([]int, c.NumQubits)
+	for i := range firstSeen {
+		firstSeen[i] = int(^uint(0) >> 1) // max int
+	}
+	for gi, g := range c.Gates {
+		if !g.Is2Q() {
+			continue
+		}
+		a, b := g.Qubits[0], g.Qubits[1]
+		weight[a][b]++
+		weight[b][a]++
+		if gi < firstSeen[a] {
+			firstSeen[a] = gi
+		}
+		if gi < firstSeen[b] {
+			firstSeen[b] = gi
+		}
+	}
+
+	// Placement order: by first 2Q appearance, inactive qubits last.
+	orderQ := make([]int, c.NumQubits)
+	for i := range orderQ {
+		orderQ[i] = i
+	}
+	// Stable selection sort by (firstSeen, index) — NumQubits is small
+	// (<100 in all benchmarks), so O(n^2) is irrelevant.
+	for i := 0; i < len(orderQ); i++ {
+		best := i
+		for j := i + 1; j < len(orderQ); j++ {
+			a, b := orderQ[j], orderQ[best]
+			if firstSeen[a] < firstSeen[b] || (firstSeen[a] == firstSeen[b] && a < b) {
+				best = j
+			}
+		}
+		orderQ[i], orderQ[best] = orderQ[best], orderQ[i]
+	}
+
+	placement := make([][]int, nTraps)
+	trapOf := make([]int, c.NumQubits)
+	for i := range trapOf {
+		trapOf[i] = -1
+	}
+	for _, q := range orderQ {
+		bestTrap, bestScore, bestFree := -1, -1, -1
+		for t := 0; t < nTraps; t++ {
+			if len(placement[t]) >= maxLoad {
+				continue
+			}
+			score := 0
+			for other, w := range weight[q] {
+				if trapOf[other] == t {
+					score += w
+				}
+			}
+			free := maxLoad - len(placement[t])
+			if score > bestScore || (score == bestScore && free > bestFree) {
+				bestTrap, bestScore, bestFree = t, score, free
+			}
+		}
+		if bestTrap < 0 {
+			return nil, fmt.Errorf("compiler: no trap has room for qubit %d", q)
+		}
+		placement[bestTrap] = append(placement[bestTrap], q)
+		trapOf[q] = bestTrap
+	}
+	return placement, nil
+}

@@ -1,0 +1,135 @@
+// Package compiler is the policy-parameterized QCCD compilation engine.
+//
+// It implements the machinery shared by the baseline QCCDSim compiler
+// (internal/baseline) and the paper's optimized compiler (internal/core):
+// native-gate decomposition, greedy initial mapping, the
+// earliest-ready-gate-first schedule loop over the dependency DAG
+// (Section III-B), shuttle routing along the trap topology, and
+// traffic-block resolution. The three decision points the paper optimizes
+// are injected as policies:
+//
+//   - Direction: which ion moves to co-locate a cross-trap 2Q gate
+//     (Section III-A);
+//   - Reorderer: optional opportunistic gate re-ordering when the favored
+//     destination trap is full (Section III-B, Algorithm 1);
+//   - Rebalancer: which ion leaves a full trap, and for which destination,
+//     when a traffic block must be resolved (Section III-C, Algorithm 2).
+package compiler
+
+import (
+	"muzzle/internal/circuit"
+	"muzzle/internal/dag"
+	"muzzle/internal/machine"
+)
+
+// Context is the read view policies get of the in-progress compilation.
+type Context struct {
+	// State is the live machine state (ion positions, capacities).
+	State *machine.State
+	// Graph is the dependency DAG of the decomposed circuit.
+	Graph *dag.Graph
+	// Circ is the decomposed (native-gate) circuit being compiled.
+	Circ *circuit.Circuit
+	// Executed marks gates already issued.
+	Executed []bool
+	// Protected lists ions a rebalancer should not evict if it has any
+	// alternative: while the engine is co-locating the active gate's ions,
+	// evicting one of them would undo the routing in progress. Rebalancers
+	// may still evict a protected ion when a trap contains nothing else.
+	Protected []int
+}
+
+// IsProtected reports whether ion is currently protected from eviction.
+func (ctx *Context) IsProtected(ion int) bool {
+	for _, p := range ctx.Protected {
+		if p == ion {
+			return true
+		}
+	}
+	return false
+}
+
+// Direction decides which ion shuttles to execute a cross-trap 2Q gate.
+type Direction interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Choose returns the ion to move (qa or qb) and the destination trap
+	// (the other ion's trap). gateIdx is the active gate; remaining lists
+	// the upcoming unexecuted 2Q gate indices in schedule order (capped by
+	// the engine's lookahead).
+	Choose(ctx *Context, gateIdx, qa, qb int, remaining []int) (moveIon, destTrap int)
+}
+
+// Rebalancer resolves a traffic block by moving one ion out of a full trap.
+type Rebalancer interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Choose selects the ion to evict from the blocked (full) trap and its
+	// destination trap (which must have excess capacity). avoid lists traps
+	// the engine is about to route through — sending the evicted ion there
+	// would re-create the very block being resolved — and implementations
+	// must prefer destinations outside it, falling back to avoided traps
+	// only when nothing else has room. It returns an error only if no trap
+	// in the machine can accept an ion.
+	Choose(ctx *Context, blocked int, remaining []int, avoid []int) (ion, dest int, err error)
+}
+
+// InAvoid reports whether trap t is in the avoid list.
+func InAvoid(avoid []int, t int) bool {
+	for _, a := range avoid {
+		if a == t {
+			return true
+		}
+	}
+	return false
+}
+
+// PathClear reports whether every intermediate trap on the shortest path
+// from -> to has excess capacity, i.e. an ion can be routed without
+// triggering further traffic blocks. Rebalancers use it to prefer eviction
+// destinations that are actually reachable — sending a victim down a
+// blocked corridor spawns recursive evictions that can cycle (two full
+// traps each needing the other cleared first).
+func PathClear(st *machine.State, from, to int) bool {
+	path := st.Config().Topology.Path(from, to)
+	if len(path) <= 2 {
+		return true // same or adjacent traps: no intermediates
+	}
+	for _, t := range path[1 : len(path)-1] {
+		if st.IsFull(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reorderer implements opportunistic gate re-ordering (Algorithm 1).
+type Reorderer interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Candidate examines pending gates and returns the position (index into
+	// order, strictly greater than cursor) of a gate whose execution would
+	// free a slot in fullTrap, or -1 if none qualifies. Implementations
+	// must only return dependency-safe gates (all predecessors executed).
+	Candidate(ctx *Context, order []int, cursor int, fullTrap int) int
+}
+
+// Remaining2Q collects up to cap unexecuted 2Q gate indices from order
+// starting after position cursor, skipping position exclude (pass -1 to
+// skip nothing). It is the lookahead view handed to policies.
+func Remaining2Q(ctx *Context, order []int, cursor, cap, exclude int) []int {
+	out := make([]int, 0, cap)
+	for pos := cursor + 1; pos < len(order) && len(out) < cap; pos++ {
+		if pos == exclude {
+			continue
+		}
+		idx := order[pos]
+		if ctx.Executed[idx] {
+			continue
+		}
+		if ctx.Circ.Gates[idx].Is2Q() {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

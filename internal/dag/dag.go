@@ -1,0 +1,182 @@
+// Package dag builds the gate dependency graph of a quantum program
+// (paper Section II-A, Fig. 2).
+//
+// The graph is a layered DAG: a gate depends on the most recent earlier gate
+// touching each of its qubits; its layer is one past the deepest such
+// predecessor. Gates within a layer commute with respect to scheduling (they
+// act on disjoint qubits), so any order that respects the edges is a valid
+// execution order. Barriers participate as dependency points spanning their
+// qubits but are not physical operations.
+package dag
+
+import (
+	"fmt"
+
+	"muzzle/internal/circuit"
+)
+
+// Graph is the dependency graph over the gates of one circuit. Gate indices
+// refer to positions in the source circuit's Gates slice.
+type Graph struct {
+	circ   *circuit.Circuit
+	preds  [][]int
+	succs  [][]int
+	layer  []int
+	layers [][]int
+}
+
+// Build constructs the dependency graph for c.
+func Build(c *circuit.Circuit) *Graph {
+	n := len(c.Gates)
+	g := &Graph{
+		circ:  c,
+		preds: make([][]int, n),
+		succs: make([][]int, n),
+		layer: make([]int, n),
+	}
+	last := make([]int, c.NumQubits) // last gate index touching each qubit
+	for i := range last {
+		last[i] = -1
+	}
+	maxLayer := -1
+	for i, gate := range c.Gates {
+		l := 0
+		seen := map[int]bool{}
+		for _, q := range gate.Qubits {
+			p := last[q]
+			if p >= 0 && !seen[p] {
+				seen[p] = true
+				g.preds[i] = append(g.preds[i], p)
+				g.succs[p] = append(g.succs[p], i)
+				if g.layer[p]+1 > l {
+					l = g.layer[p] + 1
+				}
+			}
+		}
+		g.layer[i] = l
+		if l > maxLayer {
+			maxLayer = l
+		}
+		for _, q := range gate.Qubits {
+			last[q] = i
+		}
+	}
+	g.layers = make([][]int, maxLayer+1)
+	for i := range c.Gates {
+		l := g.layer[i]
+		g.layers[l] = append(g.layers[l], i)
+	}
+	return g
+}
+
+// Circuit returns the circuit the graph was built from.
+func (g *Graph) Circuit() *circuit.Circuit { return g.circ }
+
+// NumGates returns the number of gates (nodes).
+func (g *Graph) NumGates() int { return len(g.layer) }
+
+// Layer returns the layer index of gate i.
+func (g *Graph) Layer(i int) int { return g.layer[i] }
+
+// NumLayers returns the number of layers.
+func (g *Graph) NumLayers() int { return len(g.layers) }
+
+// LayerGates returns the gate indices in layer l, in program order. The
+// returned slice must not be modified.
+func (g *Graph) LayerGates(l int) []int { return g.layers[l] }
+
+// Preds returns the direct predecessors of gate i. The returned slice must
+// not be modified.
+func (g *Graph) Preds(i int) []int { return g.preds[i] }
+
+// Succs returns the direct successors of gate i. The returned slice must not
+// be modified.
+func (g *Graph) Succs(i int) []int { return g.succs[i] }
+
+// TopoOrder returns a valid execution order using Kahn's algorithm with a
+// lowest-index-first tie break; this realises the paper's
+// earliest-ready-gate-first heuristic and, by construction, equals program
+// order (program order is itself topological for this graph class).
+func (g *Graph) TopoOrder() []int {
+	n := g.NumGates()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.preds[i])
+	}
+	// Min-index ready queue; a simple ordered scan is fine because indices
+	// only ever become ready in increasing program positions.
+	order := make([]int, 0, n)
+	ready := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready[i] = true
+		}
+	}
+	for len(order) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if ready[i] {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			panic("dag: cycle in dependency graph (impossible for straight-line programs)")
+		}
+		ready[picked] = false
+		order = append(order, picked)
+		for _, s := range g.succs[picked] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready[s] = true
+			}
+		}
+	}
+	return order
+}
+
+// ValidOrder reports whether order is a permutation of all gates that
+// respects every dependency edge.
+func (g *Graph) ValidOrder(order []int) error {
+	n := g.NumGates()
+	if len(order) != n {
+		return fmt.Errorf("dag: order has %d entries, graph has %d gates", len(order), n)
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for p, idx := range order {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("dag: order entry %d out of range", idx)
+		}
+		if seen[idx] {
+			return fmt.Errorf("dag: gate %d appears twice in order", idx)
+		}
+		seen[idx] = true
+		pos[idx] = p
+	}
+	for i := 0; i < n; i++ {
+		for _, p := range g.preds[i] {
+			if pos[p] > pos[i] {
+				return fmt.Errorf("dag: gate %d scheduled before its predecessor %d", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// CanHoist reports whether gate idx can be executed before every gate in
+// notYetExecuted that currently precedes it in the order — i.e. whether all
+// of idx's predecessors have already executed. executed[i] must be true for
+// gates already issued.
+func (g *Graph) CanHoist(idx int, executed []bool) bool {
+	for _, p := range g.preds[idx] {
+		if !executed[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalPathLength returns the number of layers, which equals the length
+// of the longest dependency chain.
+func (g *Graph) CriticalPathLength() int { return len(g.layers) }

@@ -1,0 +1,270 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"muzzle/internal/circuit"
+)
+
+// fig2Circuit is the 9-gate sample program of paper Fig. 2a.
+func fig2Circuit() *circuit.Circuit {
+	c := circuit.New("fig2", 6)
+	c.Add2Q("ms", 0, 1) // g1
+	c.Add2Q("ms", 2, 3) // g2
+	c.Add2Q("ms", 2, 0) // g3
+	c.Add2Q("ms", 4, 5) // g4
+	c.Add2Q("ms", 0, 3) // g5
+	c.Add2Q("ms", 2, 5) // g6
+	c.Add2Q("ms", 4, 5) // g7
+	c.Add2Q("ms", 0, 1) // g8
+	c.Add2Q("ms", 2, 3) // g9
+	return c
+}
+
+// TestFigure2Layers pins the layer assignment shown in paper Fig. 2b:
+// L0 = {g1,g2,g4}, L1 = {g3}, L2 = {g5,g6}, L3 = {g7,g8,g9}.
+func TestFigure2Layers(t *testing.T) {
+	g := Build(fig2Circuit())
+	wantLayer := []int{0, 0, 1, 0, 2, 2, 3, 3, 3} // gate index -> layer
+	for i, want := range wantLayer {
+		if got := g.Layer(i); got != want {
+			t.Errorf("gate g%d: layer = %d, want %d", i+1, got, want)
+		}
+	}
+	if g.NumLayers() != 4 {
+		t.Errorf("NumLayers = %d, want 4", g.NumLayers())
+	}
+	l0 := g.LayerGates(0)
+	if len(l0) != 3 || l0[0] != 0 || l0[1] != 1 || l0[2] != 3 {
+		t.Errorf("layer 0 = %v, want [0 1 3]", l0)
+	}
+}
+
+// TestFigure2Dependencies pins the edges discussed in Section II-A: g5 and
+// g6 are independent of each other but both depend on g3.
+func TestFigure2Dependencies(t *testing.T) {
+	g := Build(fig2Circuit())
+	const g3, g5, g6 = 2, 4, 5 // zero-based indices
+	dependsOn := func(a, b int) bool {
+		for _, p := range g.Preds(a) {
+			if p == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !dependsOn(g5, g3) {
+		t.Error("g5 should depend on g3")
+	}
+	if !dependsOn(g6, g3) {
+		t.Error("g6 should depend on g3")
+	}
+	if dependsOn(g6, g5) || dependsOn(g5, g6) {
+		t.Error("g5 and g6 should be independent")
+	}
+}
+
+// TestFigure2Order verifies the Fig. 2c order "g2 g1 g4 g3 g5 g6 g8 g9 g7"
+// is accepted as a valid execution order.
+func TestFigure2Order(t *testing.T) {
+	g := Build(fig2Circuit())
+	order := []int{1, 0, 3, 2, 4, 5, 7, 8, 6}
+	if err := g.ValidOrder(order); err != nil {
+		t.Errorf("paper order rejected: %v", err)
+	}
+}
+
+func TestTopoOrderIsProgramOrder(t *testing.T) {
+	g := Build(fig2Circuit())
+	order := g.TopoOrder()
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("TopoOrder with min-index tie break should be program order, got %v", order)
+		}
+	}
+}
+
+func TestValidOrderRejections(t *testing.T) {
+	g := Build(fig2Circuit())
+	if err := g.ValidOrder([]int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if err := g.ValidOrder([]int{0, 0, 1, 2, 3, 4, 5, 6, 7}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if err := g.ValidOrder([]int{2, 0, 1, 3, 4, 5, 6, 7, 8}); err == nil {
+		t.Error("g3 before g1/g2 accepted")
+	}
+	if err := g.ValidOrder([]int{0, 1, 2, 3, 4, 5, 6, 7, 99}); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+}
+
+func TestBarrierCreatesDependency(t *testing.T) {
+	c := circuit.New("b", 2)
+	c.Add1Q("r", 0)
+	c.MustAppend(circuit.Gate{Name: "barrier", Qubits: []int{0, 1}})
+	c.Add1Q("r", 1)
+	g := Build(c)
+	if g.Layer(2) != 2 {
+		t.Errorf("gate after barrier should be layer 2, got %d", g.Layer(2))
+	}
+}
+
+func TestCanHoist(t *testing.T) {
+	g := Build(fig2Circuit())
+	executed := make([]bool, g.NumGates())
+	// Nothing executed: only layer-0 gates can hoist.
+	for i := 0; i < g.NumGates(); i++ {
+		want := g.Layer(i) == 0
+		if got := g.CanHoist(i, executed); got != want {
+			t.Errorf("CanHoist(%d) with nothing executed = %v, want %v", i, got, want)
+		}
+	}
+	// After g1, g2 execute, g3 becomes hoistable.
+	executed[0], executed[1] = true, true
+	if !g.CanHoist(2, executed) {
+		t.Error("g3 should be hoistable after g1,g2")
+	}
+	if g.CanHoist(4, executed) {
+		t.Error("g5 should not be hoistable before g3")
+	}
+}
+
+func TestSingleQubitChains(t *testing.T) {
+	c := circuit.New("chain", 1)
+	for i := 0; i < 5; i++ {
+		c.Add1Q("r", 0)
+	}
+	g := Build(c)
+	if g.NumLayers() != 5 {
+		t.Errorf("serial chain should have 5 layers, got %d", g.NumLayers())
+	}
+	for i := 0; i < 5; i++ {
+		if g.Layer(i) != i {
+			t.Errorf("gate %d layer = %d", i, g.Layer(i))
+		}
+	}
+	if g.CriticalPathLength() != 5 {
+		t.Errorf("critical path = %d", g.CriticalPathLength())
+	}
+}
+
+func TestEmptyCircuit(t *testing.T) {
+	g := Build(circuit.New("empty", 3))
+	if g.NumGates() != 0 || g.NumLayers() != 0 {
+		t.Fatalf("empty graph: %d gates, %d layers", g.NumGates(), g.NumLayers())
+	}
+	if err := g.ValidOrder(nil); err != nil {
+		t.Errorf("empty order: %v", err)
+	}
+	if len(g.TopoOrder()) != 0 {
+		t.Error("TopoOrder of empty graph should be empty")
+	}
+}
+
+func randomCircuit(rng *rand.Rand) *circuit.Circuit {
+	n := 3 + rng.Intn(10)
+	c := circuit.New("rand", n)
+	for i := 0; i < rng.Intn(80); i++ {
+		if rng.Intn(3) == 0 {
+			c.Add1Q("r", rng.Intn(n))
+			continue
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		for b == a {
+			b = rng.Intn(n)
+		}
+		c.Add2Q("ms", a, b)
+	}
+	return c
+}
+
+// Property: program order is always a valid topological order.
+func TestQuickProgramOrderValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		g := Build(c)
+		order := make([]int, g.NumGates())
+		for i := range order {
+			order[i] = i
+		}
+		return g.ValidOrder(order) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: layers partition the gates, layer(pred) < layer(gate), and two
+// gates in the same layer never share a qubit.
+func TestQuickLayerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		g := Build(c)
+		total := 0
+		for l := 0; l < g.NumLayers(); l++ {
+			gates := g.LayerGates(l)
+			total += len(gates)
+			occupied := map[int]bool{}
+			for _, idx := range gates {
+				if g.Layer(idx) != l {
+					return false
+				}
+				for _, q := range c.Gates[idx].Qubits {
+					if occupied[q] {
+						return false // same-layer qubit conflict
+					}
+					occupied[q] = true
+				}
+			}
+		}
+		if total != g.NumGates() {
+			return false
+		}
+		for i := 0; i < g.NumGates(); i++ {
+			for _, p := range g.Preds(i) {
+				if g.Layer(p) >= g.Layer(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TopoOrder is always valid and succ/pred are mirror relations.
+func TestQuickTopoAndMirror(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng)
+		g := Build(c)
+		if g.ValidOrder(g.TopoOrder()) != nil {
+			return false
+		}
+		for i := 0; i < g.NumGates(); i++ {
+			for _, s := range g.Succs(i) {
+				found := false
+				for _, p := range g.Preds(s) {
+					if p == i {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package eval is the experiment harness: it runs the baseline and
+// optimized compilers over the paper's benchmark suite and regenerates the
+// evaluation artifacts — Table II (shuttle reduction), Fig. 8 (program
+// fidelity improvement), and Table III (compilation time overhead).
+//
+// The harness prints the same rows the paper reports; EXPERIMENTS.md pairs
+// each with the paper's numbers.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"muzzle/internal/baseline"
+	"muzzle/internal/bench"
+	"muzzle/internal/circuit"
+	"muzzle/internal/compiler"
+	"muzzle/internal/core"
+	"muzzle/internal/fidelity"
+	"muzzle/internal/machine"
+	"muzzle/internal/sim"
+)
+
+// Options configure an evaluation run.
+type Options struct {
+	// Config is the hardware model (paper: L6, capacity 17, comm 2).
+	Config machine.Config
+	// Sim are the simulator constants for the fidelity estimates.
+	Sim sim.Params
+	// Random are the random-suite statistics.
+	Random bench.RandomSuiteParams
+	// RandomLimit, when positive, evaluates only the first N random
+	// circuits (used by tests and quick runs); 0 means all 120.
+	RandomLimit int
+	// Parallelism bounds concurrent circuit evaluations (0 = GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed circuit.
+	Progress io.Writer
+}
+
+// DefaultOptions returns the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{
+		Config: machine.PaperL6(),
+		Sim:    sim.DefaultParams(),
+		Random: bench.DefaultRandomSuiteParams(),
+	}
+}
+
+// BenchResult holds both compilers' outcomes on one circuit.
+type BenchResult struct {
+	// Name is the circuit name.
+	Name string
+	// Qubits and Gates2Q describe the circuit (2Q count after
+	// decomposition to the native set).
+	Qubits, Gates2Q int
+	// Baseline and Optimized are the compilation results.
+	Baseline, Optimized *compiler.Result
+	// BaselineSim and OptimizedSim are the simulator reports.
+	BaselineSim, OptimizedSim *sim.Report
+}
+
+// Reduction returns the absolute and percentage shuttle reduction.
+func (r *BenchResult) Reduction() (delta int, pct float64) {
+	delta = r.Baseline.Shuttles - r.Optimized.Shuttles
+	if r.Baseline.Shuttles > 0 {
+		pct = 100 * float64(delta) / float64(r.Baseline.Shuttles)
+	}
+	return delta, pct
+}
+
+// Improvement returns the program-fidelity improvement factor (Fig. 8's X).
+func (r *BenchResult) Improvement() float64 {
+	return fidelity.Improvement(r.OptimizedSim.LogFidelity, r.BaselineSim.LogFidelity)
+}
+
+// RunCircuit evaluates one circuit under both compilers and the simulator.
+// The input circuit is not modified.
+func RunCircuit(c *circuit.Circuit, opt Options) (*BenchResult, error) {
+	resB, err := baseline.New().Compile(c, opt.Config)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: baseline: %w", c.Name, err)
+	}
+	resO, err := core.New().Compile(c, opt.Config)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: optimized: %w", c.Name, err)
+	}
+	simB, err := sim.Simulate(opt.Config, resB.InitialPlacement, resB.Ops, opt.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: baseline sim: %w", c.Name, err)
+	}
+	simO, err := sim.Simulate(opt.Config, resO.InitialPlacement, resO.Ops, opt.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("eval %s: optimized sim: %w", c.Name, err)
+	}
+	return &BenchResult{
+		Name:         c.Name,
+		Qubits:       c.NumQubits,
+		Gates2Q:      bench.Count2QNative(c),
+		Baseline:     resB,
+		Optimized:    resO,
+		BaselineSim:  simB,
+		OptimizedSim: simO,
+	}, nil
+}
+
+// RunNISQ evaluates the five NISQ benchmarks of Table II, in paper order.
+func RunNISQ(opt Options) ([]*BenchResult, error) {
+	specs := bench.Catalog()
+	circuits := make([]*circuit.Circuit, len(specs))
+	for i, s := range specs {
+		circuits[i] = s.Build()
+	}
+	return runAll(circuits, opt)
+}
+
+// RunRandom evaluates the random suite (honoring RandomLimit).
+func RunRandom(opt Options) ([]*BenchResult, error) {
+	circuits := bench.RandomSuite(opt.Random)
+	if opt.RandomLimit > 0 && opt.RandomLimit < len(circuits) {
+		circuits = circuits[:opt.RandomLimit]
+	}
+	return runAll(circuits, opt)
+}
+
+// runAll evaluates circuits concurrently, preserving input order.
+func runAll(circuits []*circuit.Circuit, opt Options) ([]*BenchResult, error) {
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*BenchResult, len(circuits))
+	errs := make([]error, len(circuits))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, c := range circuits {
+		wg.Add(1)
+		go func(i int, c *circuit.Circuit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := RunCircuit(c, opt)
+			results[i], errs[i] = r, err
+			if opt.Progress != nil {
+				mu.Lock()
+				if err != nil {
+					fmt.Fprintf(opt.Progress, "%-28s ERROR: %v\n", c.Name, err)
+				} else {
+					d, pct := r.Reduction()
+					fmt.Fprintf(opt.Progress, "%-28s base=%5d opt=%5d  -%d (%.2f%%)\n",
+						c.Name, r.Baseline.Shuttles, r.Optimized.Shuttles, d, pct)
+				}
+				mu.Unlock()
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Stats summarises a set of per-circuit values as mean (std), the format of
+// the paper's Random row.
+type Stats struct {
+	Mean, Std float64
+	N         int
+}
+
+// NewStats computes mean and population standard deviation.
+func NewStats(values []float64) Stats {
+	s := Stats{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	varSum := 0.0
+	for _, v := range values {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(s.N))
+	return s
+}

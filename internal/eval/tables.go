@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TableII formats the shuttle-reduction table in the layout of paper
+// Table II: one row per NISQ benchmark plus an aggregate Random row with
+// mean (std) statistics.
+func TableII(nisq, random []*BenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II — REDUCTION IN THE NUMBER OF SHUTTLES\n")
+	fmt.Fprintf(&b, "%-14s %-7s %-10s %9s %10s %7s %8s\n",
+		"Benchmark", "Qubits", "2Q gates", "[7]", "This Work", "Δ(↓)", "%Δ")
+	for _, r := range nisq {
+		d, pct := r.Reduction()
+		fmt.Fprintf(&b, "%-14s %-7d %-10d %9d %10d %7d %7.2f%%\n",
+			r.Name, r.Qubits, r.Gates2Q, r.Baseline.Shuttles, r.Optimized.Shuttles, d, pct)
+	}
+	if len(random) > 0 {
+		var gates, base, opt, delta, pct []float64
+		minQ, maxQ := random[0].Qubits, random[0].Qubits
+		for _, r := range random {
+			gates = append(gates, float64(r.Gates2Q))
+			base = append(base, float64(r.Baseline.Shuttles))
+			opt = append(opt, float64(r.Optimized.Shuttles))
+			d, p := r.Reduction()
+			delta = append(delta, float64(d))
+			pct = append(pct, p)
+			if r.Qubits < minQ {
+				minQ = r.Qubits
+			}
+			if r.Qubits > maxQ {
+				maxQ = r.Qubits
+			}
+		}
+		g, bs, os, ds, ps := NewStats(gates), NewStats(base), NewStats(opt), NewStats(delta), NewStats(pct)
+		fmt.Fprintf(&b, "%-14s %d-%-4d %4.0f (%.0f) %9.0f %5.0f (%.0f) %7.0f %5.0f%% (%.0f)\n",
+			fmt.Sprintf("Random(n=%d)", len(random)), minQ, maxQ,
+			g.Mean, g.Std, bs.Mean, os.Mean, os.Std, ds.Mean, ps.Mean, ps.Std)
+	}
+	return b.String()
+}
+
+// Figure8 formats the program-fidelity improvement chart of paper Fig. 8 as
+// a labelled series (benchmark -> improvement factor) with an ASCII bar per
+// entry.
+func Figure8(nisq, random []*BenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIG. 8 — PROGRAM FIDELITY IMPROVEMENT (X = optimized/baseline)\n")
+	type row struct {
+		name string
+		x    float64
+	}
+	var rows []row
+	for _, r := range nisq {
+		rows = append(rows, row{r.Name, r.Improvement()})
+	}
+	if len(random) > 0 {
+		// Geometric mean: the statistically meaningful average for ratio
+		// data — an arithmetic mean of per-circuit improvement factors is
+		// dominated by a handful of very hot baseline outliers.
+		sumLog := 0.0
+		for _, r := range random {
+			sumLog += r.OptimizedSim.LogFidelity - r.BaselineSim.LogFidelity
+		}
+		rows = append(rows, row{"Random", math.Exp(sumLog / float64(len(random)))})
+	}
+	maxX := 1.0
+	for _, r := range rows {
+		if r.x > maxX {
+			maxX = r.x
+		}
+	}
+	for _, r := range rows {
+		bar := int(40 * r.x / maxX)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-14s %8.2fX |%s\n", r.name, r.x, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// TableIII formats the compilation-time table of paper Table III.
+func TableIII(nisq, random []*BenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE III — COMPILATION TIME OVERHEAD\n")
+	fmt.Fprintf(&b, "%-14s %18s %12s %10s\n",
+		"Benchmark", "This work (sec)", "[7] (sec)", "Δ(↑) (sec)")
+	for _, r := range nisq {
+		to := r.Optimized.CompileTime.Seconds()
+		tb := r.Baseline.CompileTime.Seconds()
+		fmt.Fprintf(&b, "%-14s %18.3f %12.3f %10.3f\n", r.Name, to, tb, to-tb)
+	}
+	if len(random) > 0 {
+		var to, tb, dt []float64
+		for _, r := range random {
+			o := r.Optimized.CompileTime.Seconds()
+			bl := r.Baseline.CompileTime.Seconds()
+			to = append(to, o)
+			tb = append(tb, bl)
+			dt = append(dt, o-bl)
+		}
+		so, sb, sd := NewStats(to), NewStats(tb), NewStats(dt)
+		fmt.Fprintf(&b, "%-14s %10.3f (%.3f) %12.3f %4.3f (%.3f)\n",
+			"Random", so.Mean, so.Std, sb.Mean, sd.Mean, sd.Std)
+	}
+	return b.String()
+}
+
+// Summary prints the one-line headline the paper's abstract reports: max
+// and average percentage reduction over all evaluated circuits, and the max
+// fidelity improvement.
+func Summary(nisq, random []*BenchResult) string {
+	all := append(append([]*BenchResult{}, nisq...), random...)
+	if len(all) == 0 {
+		return "no results"
+	}
+	maxPct, sumPct := 0.0, 0.0
+	maxImp := 0.0
+	wins := 0
+	for _, r := range all {
+		_, pct := r.Reduction()
+		sumPct += pct
+		if pct > maxPct {
+			maxPct = pct
+		}
+		if imp := r.Improvement(); imp > maxImp {
+			maxImp = imp
+		}
+		if r.Optimized.Shuttles < r.Baseline.Shuttles {
+			wins++
+		}
+	}
+	return fmt.Sprintf(
+		"circuits=%d  wins=%d  max shuttle reduction=%.2f%%  avg=%.2f%%  max fidelity improvement=%.2fX",
+		len(all), wins, maxPct, sumPct/float64(len(all)), maxImp)
+}

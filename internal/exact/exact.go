@@ -1,0 +1,184 @@
+// Package exact computes provably minimal shuttle counts for small
+// instances by exhaustive shortest-path search over machine placements.
+//
+// The paper's Section IV-E1 argues that exact methods (ILP/SMT) "do not
+// scale well with circuit size" and justifies heuristics by that
+// intractability. This package makes the comparison concrete: it finds the
+// true optimum for tiny circuits, letting tests and benchmarks measure the
+// optimality gap of both compilers — and letting a benchmark demonstrate
+// the exponential blow-up the paper cites.
+//
+// Model: gates execute in the given program order; between gates, any
+// sequence of single-ion hops between adjacent traps is allowed (each hop
+// is one shuttle), subject to trap capacity. A 2Q gate requires its ions
+// co-located. This matches the shuttle-count accounting of the compilers
+// (intra-chain swaps are not shuttles), and is *stronger* than the
+// heuristics in one way — the optimum may move both ions of a gate to a
+// third trap when that pays off globally.
+package exact
+
+import (
+	"container/heap"
+	"fmt"
+
+	"muzzle/internal/circuit"
+	"muzzle/internal/machine"
+)
+
+// MaxStates bounds the search; instances whose placement-space size exceeds
+// it are rejected (that blow-up is the paper's point).
+const MaxStates = 4 << 20
+
+// MinShuttles returns the minimal number of shuttles needed to execute all
+// 2Q gates of c in program order, starting from placement. Single-qubit
+// gates are ignored (they never force movement).
+func MinShuttles(c *circuit.Circuit, cfg machine.Config, placement [][]int) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	nTraps := cfg.Topology.NumTraps()
+	nIons := 0
+	trapOf := map[int]int{}
+	for t, chain := range placement {
+		for _, q := range chain {
+			trapOf[q] = t
+			nIons++
+		}
+	}
+	if nIons == 0 {
+		return 0, fmt.Errorf("exact: empty placement")
+	}
+	// Placement-space size check: nTraps^nIons.
+	space := 1
+	for i := 0; i < nIons; i++ {
+		space *= nTraps
+		if space > MaxStates {
+			return 0, fmt.Errorf("exact: %d ions on %d traps exceeds the tractable state space (%d) — the intractability the paper cites (Section IV-E1)", nIons, nTraps, MaxStates)
+		}
+	}
+
+	// Gate list: 2Q gates only, in program order.
+	type pair struct{ a, b int }
+	var gates []pair
+	for _, g := range c.Gates {
+		if !g.Is2Q() {
+			continue
+		}
+		if _, ok := trapOf[g.Qubits[0]]; !ok {
+			return 0, fmt.Errorf("exact: qubit %d not placed", g.Qubits[0])
+		}
+		if _, ok := trapOf[g.Qubits[1]]; !ok {
+			return 0, fmt.Errorf("exact: qubit %d not placed", g.Qubits[1])
+		}
+		gates = append(gates, pair{g.Qubits[0], g.Qubits[1]})
+	}
+
+	// State encoding: ion -> trap as a base-nTraps integer, plus gate index.
+	ions := make([]int, 0, nIons)
+	for q := range trapOf {
+		ions = append(ions, q)
+	}
+	// Deterministic ion order.
+	for i := 1; i < len(ions); i++ {
+		for j := i; j > 0 && ions[j-1] > ions[j]; j-- {
+			ions[j-1], ions[j] = ions[j], ions[j-1]
+		}
+	}
+	ionIdx := map[int]int{}
+	for i, q := range ions {
+		ionIdx[q] = i
+	}
+	encode := func(tr []int) int {
+		key := 0
+		for i := len(tr) - 1; i >= 0; i-- {
+			key = key*nTraps + tr[i]
+		}
+		return key
+	}
+	start := make([]int, nIons)
+	for q, t := range trapOf {
+		start[ionIdx[q]] = t
+	}
+
+	dist := map[node]int{}
+	pq := &nodeHeap{}
+	push := func(n node, d int) {
+		if old, ok := dist[n]; ok && old <= d {
+			return
+		}
+		dist[n] = d
+		heap.Push(pq, heapItem{n: n, d: d})
+	}
+	push(node{key: encode(start), gate: 0}, 0)
+
+	decode := func(key int) []int {
+		tr := make([]int, nIons)
+		for i := 0; i < nIons; i++ {
+			tr[i] = key % nTraps
+			key /= nTraps
+		}
+		return tr
+	}
+	occupancy := func(tr []int) []int {
+		occ := make([]int, nTraps)
+		for _, t := range tr {
+			occ[t]++
+		}
+		return occ
+	}
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if d, ok := dist[it.n]; !ok || d < it.d {
+			continue // stale entry
+		}
+		if it.n.gate == len(gates) {
+			return it.d, nil
+		}
+		tr := decode(it.n.key)
+		g := gates[it.n.gate]
+		// Execute the gate for free if co-located.
+		if tr[ionIdx[g.a]] == tr[ionIdx[g.b]] {
+			push(node{key: it.n.key, gate: it.n.gate + 1}, it.d)
+			continue
+		}
+		// Otherwise expand single hops.
+		occ := occupancy(tr)
+		for i := 0; i < nIons; i++ {
+			from := tr[i]
+			for _, to := range cfg.Topology.Neighbors(from) {
+				if occ[to] >= cfg.Capacity {
+					continue
+				}
+				tr[i] = to
+				push(node{key: encode(tr), gate: it.n.gate}, it.d+1)
+				tr[i] = from
+			}
+		}
+	}
+	return 0, fmt.Errorf("exact: no feasible schedule (capacity deadlock)")
+}
+
+type heapItem struct {
+	n node
+	d int
+}
+
+type node struct {
+	key  int
+	gate int
+}
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

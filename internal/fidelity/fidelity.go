@@ -1,0 +1,139 @@
+// Package fidelity implements the analytical trapped-ion gate fidelity
+// model of paper Section II-B3 (due to Murali et al., ISCA 2020):
+//
+//	F = 1 − Γτ − A(2n̄+1)
+//
+// where Γ is the trap heating (error) rate, τ the gate duration, n̄ the
+// motional mode of the chain executing the gate, and A a scaling factor
+// varying as #ions/log(#ions) in the chain. Program fidelity is the product
+// of per-gate fidelities, accumulated in log space to avoid underflow on
+// thousand-gate circuits.
+package fidelity
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the fidelity-model constants; see DESIGN.md "Model constants"
+// for the calibration discussion.
+type Params struct {
+	// Gamma is the error contribution per microsecond of gate time (the Γ
+	// of the model).
+	Gamma float64
+	// A0 scales the motional-mode sensitivity: A(N) = A0 * N / ln(N).
+	A0 float64
+	// AFixedChainSize, when positive, evaluates A at this fixed N — a
+	// machine-level calibration with N the trap capacity, matching how
+	// QCCDSim embeds a calibrated constant. When zero, A tracks the size of
+	// the chain executing each gate (the strict per-chain reading of the
+	// paper's "#qubits/log(#qubits)"); that variant is exercised by the
+	// ablation benchmarks.
+	AFixedChainSize int
+	// MinGateFidelity clamps a single gate's fidelity away from zero so
+	// that log-space accumulation stays finite even for pathologically hot
+	// chains.
+	MinGateFidelity float64
+}
+
+// DefaultParams returns the constants used throughout the evaluation. The
+// fixed A chain size of 17 is the paper's total trap capacity
+// (Section IV-A).
+func DefaultParams() Params {
+	return Params{
+		Gamma:           1e-6,
+		A0:              1.3e-6,
+		AFixedChainSize: 17,
+		MinGateFidelity: 1e-12,
+	}
+}
+
+// Validate rejects non-physical constants.
+func (p Params) Validate() error {
+	if p.Gamma < 0 || p.A0 < 0 {
+		return fmt.Errorf("fidelity: negative rate in %+v", p)
+	}
+	if p.AFixedChainSize < 0 {
+		return fmt.Errorf("fidelity: negative AFixedChainSize %d", p.AFixedChainSize)
+	}
+	if p.MinGateFidelity <= 0 || p.MinGateFidelity >= 1 {
+		return fmt.Errorf("fidelity: MinGateFidelity %g outside (0,1)", p.MinGateFidelity)
+	}
+	return nil
+}
+
+// A returns the scaling factor A(N) = A0 * N / ln(N), with N floored at 2
+// so the logarithm is well-defined (paper: "A is a scaling factor that
+// varies as #qubits/log(#qubits)"). When AFixedChainSize is set, the
+// supplied chain size is ignored in favor of the calibration size.
+func (p Params) A(chainSize int) float64 {
+	if p.AFixedChainSize > 0 {
+		chainSize = p.AFixedChainSize
+	}
+	n := float64(chainSize)
+	if n < 2 {
+		n = 2
+	}
+	return p.A0 * n / math.Log(n)
+}
+
+// Gate returns the fidelity of one gate of duration tau (µs) executed on a
+// chain of chainSize ions with motional mode nbar, clamped to
+// [MinGateFidelity, 1].
+func (p Params) Gate(tau, nbar float64, chainSize int) float64 {
+	f := 1 - p.Gamma*tau - p.A(chainSize)*(2*nbar+1)
+	if f < p.MinGateFidelity {
+		return p.MinGateFidelity
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Accumulator multiplies gate fidelities in log space.
+type Accumulator struct {
+	params Params
+	logF   float64
+	gates  int
+	minF   float64
+}
+
+// NewAccumulator returns an accumulator with program fidelity 1.
+func NewAccumulator(params Params) (*Accumulator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accumulator{params: params, minF: 1}, nil
+}
+
+// Add folds in one gate execution and returns that gate's fidelity.
+func (a *Accumulator) Add(tau, nbar float64, chainSize int) float64 {
+	f := a.params.Gate(tau, nbar, chainSize)
+	a.logF += math.Log(f)
+	a.gates++
+	if f < a.minF {
+		a.minF = f
+	}
+	return f
+}
+
+// LogFidelity returns ln(program fidelity).
+func (a *Accumulator) LogFidelity() float64 { return a.logF }
+
+// Fidelity returns the program fidelity (may underflow to 0 for very large
+// hot programs; use LogFidelity for comparisons).
+func (a *Accumulator) Fidelity() float64 { return math.Exp(a.logF) }
+
+// Gates returns the number of gates folded in.
+func (a *Accumulator) Gates() int { return a.gates }
+
+// MinGateFidelity returns the worst single-gate fidelity observed.
+func (a *Accumulator) MinGateFidelity() float64 { return a.minF }
+
+// Improvement returns the program-fidelity ratio exp(logA − logB) — the
+// "X" factor of paper Fig. 8 when A is the optimized compiler and B the
+// baseline.
+func Improvement(logA, logB float64) float64 {
+	return math.Exp(logA - logB)
+}

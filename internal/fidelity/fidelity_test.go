@@ -1,0 +1,198 @@
+package fidelity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := DefaultParams()
+	p.Gamma = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative Gamma accepted")
+	}
+	p = DefaultParams()
+	p.MinGateFidelity = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero clamp accepted")
+	}
+	p = DefaultParams()
+	p.MinGateFidelity = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("clamp >= 1 accepted")
+	}
+}
+
+func TestAScaling(t *testing.T) {
+	// Per-chain scaling variant (AFixedChainSize = 0): A(N) = A0 * N / ln N.
+	p := DefaultParams()
+	p.AFixedChainSize = 0
+	if got, want := p.A(10), p.A0*10/math.Log(10); math.Abs(got-want) > 1e-18 {
+		t.Errorf("A(10) = %g, want %g", got, want)
+	}
+	// Floor at N=2: A(0), A(1), A(2) all equal.
+	if p.A(0) != p.A(2) || p.A(1) != p.A(2) {
+		t.Error("A should floor chain size at 2")
+	}
+	// A grows with chain length for N >= 3 (N/ln N is increasing there).
+	if p.A(20) <= p.A(10) {
+		t.Error("A should grow with chain size")
+	}
+}
+
+func TestAFixedCalibration(t *testing.T) {
+	// Default (machine-level) calibration: A is the same for every chain
+	// size and equals A evaluated at the calibration size.
+	p := DefaultParams()
+	if p.AFixedChainSize != 17 {
+		t.Fatalf("default AFixedChainSize = %d, want 17 (paper trap capacity)", p.AFixedChainSize)
+	}
+	if p.A(2) != p.A(10) || p.A(10) != p.A(17) {
+		t.Error("fixed calibration should ignore chain size")
+	}
+	free := p
+	free.AFixedChainSize = 0
+	if p.A(5) != free.A(17) {
+		t.Error("fixed A should equal per-chain A at the calibration size")
+	}
+	bad := DefaultParams()
+	bad.AFixedChainSize = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative AFixedChainSize accepted")
+	}
+}
+
+func TestGateModelStructure(t *testing.T) {
+	p := DefaultParams()
+	// F = 1 - Γτ - A(2n̄+1): exact arithmetic for a cold, fast gate.
+	tau, nbar, size := 100.0, 0.0, 5
+	want := 1 - p.Gamma*tau - p.A(size)*(2*nbar+1)
+	if got := p.Gate(tau, nbar, size); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Gate = %g, want %g", got, want)
+	}
+}
+
+func TestGateMonotonicity(t *testing.T) {
+	p := DefaultParams()
+	// Hotter chain -> lower fidelity (Section II-B4).
+	if p.Gate(100, 10, 5) >= p.Gate(100, 1, 5) {
+		t.Error("fidelity should fall with n̄")
+	}
+	// Longer gate -> lower fidelity.
+	if p.Gate(500, 1, 5) >= p.Gate(100, 1, 5) {
+		t.Error("fidelity should fall with gate time")
+	}
+	// Longer chain -> lower fidelity under per-chain A scaling.
+	pc := p
+	pc.AFixedChainSize = 0
+	if pc.Gate(100, 1, 15) >= pc.Gate(100, 1, 5) {
+		t.Error("fidelity should fall with chain size")
+	}
+}
+
+func TestGateClamps(t *testing.T) {
+	p := DefaultParams()
+	if got := p.Gate(1e12, 1e12, 17); got != p.MinGateFidelity {
+		t.Errorf("pathological gate fidelity = %g, want clamp %g", got, p.MinGateFidelity)
+	}
+	zero := Params{Gamma: 0, A0: 0, MinGateFidelity: 1e-12}
+	if got := zero.Gate(100, 5, 5); got != 1 {
+		t.Errorf("error-free model should give F=1, got %g", got)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	a, err := NewAccumulator(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fidelity() != 1 || a.LogFidelity() != 0 {
+		t.Fatal("fresh accumulator should have fidelity 1")
+	}
+	f1 := a.Add(100, 0, 5)
+	f2 := a.Add(100, 3, 7)
+	if a.Gates() != 2 {
+		t.Errorf("Gates = %d", a.Gates())
+	}
+	want := f1 * f2
+	if got := a.Fidelity(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Fidelity = %g, want %g", got, want)
+	}
+	if a.MinGateFidelity() != math.Min(f1, f2) {
+		t.Errorf("MinGateFidelity = %g", a.MinGateFidelity())
+	}
+}
+
+func TestAccumulatorRejectsBadParams(t *testing.T) {
+	p := DefaultParams()
+	p.A0 = -1
+	if _, err := NewAccumulator(p); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	// logA = ln(2e-3), logB = ln(1e-3) -> 2X improvement.
+	got := Improvement(math.Log(2e-3), math.Log(1e-3))
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Improvement = %g, want 2", got)
+	}
+}
+
+// Property: accumulator in log space matches direct product for moderate
+// gate counts, and program fidelity is monotonically non-increasing.
+func TestQuickAccumulatorProduct(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := NewAccumulator(p)
+		if err != nil {
+			return false
+		}
+		direct := 1.0
+		prevLog := 0.0
+		for i := 0; i < 50; i++ {
+			tau := rng.Float64() * 500
+			nbar := rng.Float64() * 20
+			size := 2 + rng.Intn(16)
+			g := a.Add(tau, nbar, size)
+			direct *= g
+			if g < p.MinGateFidelity || g > 1 {
+				return false
+			}
+			if a.LogFidelity() > prevLog+1e-15 {
+				return false // fidelity increased
+			}
+			prevLog = a.LogFidelity()
+		}
+		return math.Abs(a.Fidelity()-direct) <= 1e-9*direct+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fewer shuttles (lower n̄) never hurts: for any gate, F is
+// non-increasing in n̄ — the mechanism behind paper Fig. 8.
+func TestQuickFidelityVsHeat(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tau := rng.Float64() * 300
+		size := 2 + rng.Intn(16)
+		n1 := rng.Float64() * 50
+		n2 := n1 + rng.Float64()*50
+		return p.Gate(tau, n2, size) <= p.Gate(tau, n1, size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package flow implements min-cost max-flow via successive shortest paths
+// (Bellman-Ford/SPFA with potentials-free negative-edge handling).
+//
+// It is the substrate behind the QCCDSim-style re-balancing logic of the
+// baseline compiler: the ISCA 2020 compiler resolves traffic blocks by
+// solving a minimum-cost maximum-flow problem that sends excess ions from
+// full traps to traps with spare capacity (paper Section III-C). The
+// optimized compiler replaces that global solve with the nearest-neighbor
+// heuristic of Algorithm 2, so this package also serves as the comparison
+// point for the re-balancing ablation benchmarks.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is a directed flow network under construction. Nodes are integers
+// 0..n-1 assigned by the caller.
+type Graph struct {
+	n     int
+	edges []edge
+	head  [][]int // adjacency: node -> edge indices (including reverse arcs)
+}
+
+type edge struct {
+	to   int
+	cap  int
+	cost int
+	flow int
+}
+
+// NewGraph returns an empty network over n nodes.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("flow: non-positive node count")
+	}
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// per-unit cost, plus its residual reverse arc. It returns the edge id,
+// which can be used with Flow after solving.
+func (g *Graph) AddEdge(from, to, capacity, cost int) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range", from, to))
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
+	g.head[from] = append(g.head[from], id)
+	g.edges = append(g.edges, edge{to: from, cap: 0, cost: -cost})
+	g.head[to] = append(g.head[to], id+1)
+	return id
+}
+
+// Flow returns the flow routed on edge id after Solve.
+func (g *Graph) Flow(id int) int { return g.edges[id].flow }
+
+// Result summarises a solved flow.
+type Result struct {
+	// MaxFlow is the total flow routed from source to sink.
+	MaxFlow int
+	// Cost is the total cost of the routed flow.
+	Cost int
+}
+
+// Solve computes the minimum-cost maximum flow from source to sink using
+// successive shortest augmenting paths (SPFA). Costs may be any integers as
+// long as the network has no negative-cost cycle, which holds for all
+// networks built by this repository (costs are distances/indices >= 0).
+func (g *Graph) Solve(source, sink int) Result {
+	if source < 0 || source >= g.n || sink < 0 || sink >= g.n {
+		panic("flow: source/sink out of range")
+	}
+	var res Result
+	if source == sink {
+		return res
+	}
+	const inf = math.MaxInt / 2
+	for {
+		// SPFA shortest path by cost in the residual graph.
+		dist := make([]int, g.n)
+		inQueue := make([]bool, g.n)
+		prevEdge := make([]int, g.n)
+		for i := range dist {
+			dist[i] = inf
+			prevEdge[i] = -1
+		}
+		dist[source] = 0
+		queue := []int{source}
+		inQueue[source] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for _, id := range g.head[u] {
+				e := g.edges[id]
+				if e.cap-e.flow <= 0 {
+					continue
+				}
+				if nd := dist[u] + e.cost; nd < dist[e.to] {
+					dist[e.to] = nd
+					prevEdge[e.to] = id
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if dist[sink] >= inf {
+			return res
+		}
+		// Find bottleneck.
+		bottleneck := inf
+		for v := sink; v != source; {
+			id := prevEdge[v]
+			e := g.edges[id]
+			if r := e.cap - e.flow; r < bottleneck {
+				bottleneck = r
+			}
+			v = g.edges[id^1].to
+		}
+		// Augment.
+		for v := sink; v != source; {
+			id := prevEdge[v]
+			g.edges[id].flow += bottleneck
+			g.edges[id^1].flow -= bottleneck
+			v = g.edges[id^1].to
+		}
+		res.MaxFlow += bottleneck
+		res.Cost += bottleneck * dist[sink]
+	}
+}
+
+// Assignment solves a transportation problem: supplies[i] units available at
+// supply node i, demands[j] capacity at demand node j, cost[i][j] per unit.
+// It returns the shipment matrix and total cost; total shipped equals
+// min(sum supplies, sum demands). This is the exact shape of the QCCDSim
+// re-balancing subproblem ("move excess ions from blocked traps to traps
+// with spare capacity at minimum total shuttle distance").
+func Assignment(supplies, demands []int, cost [][]int) ([][]int, int, error) {
+	ns, nd := len(supplies), len(demands)
+	if len(cost) != ns {
+		return nil, 0, fmt.Errorf("flow: cost has %d rows, want %d", len(cost), ns)
+	}
+	for i, row := range cost {
+		if len(row) != nd {
+			return nil, 0, fmt.Errorf("flow: cost row %d has %d cols, want %d", i, len(row), nd)
+		}
+	}
+	// Node layout: 0 = source, 1..ns = supplies, ns+1..ns+nd = demands,
+	// ns+nd+1 = sink.
+	src, sink := 0, ns+nd+1
+	g := NewGraph(ns + nd + 2)
+	type key struct{ i, j int }
+	ids := map[key]int{}
+	for i, s := range supplies {
+		if s < 0 {
+			return nil, 0, fmt.Errorf("flow: negative supply at %d", i)
+		}
+		g.AddEdge(src, 1+i, s, 0)
+	}
+	for j, d := range demands {
+		if d < 0 {
+			return nil, 0, fmt.Errorf("flow: negative demand at %d", j)
+		}
+		g.AddEdge(1+ns+j, sink, d, 0)
+	}
+	for i := 0; i < ns; i++ {
+		for j := 0; j < nd; j++ {
+			ids[key{i, j}] = g.AddEdge(1+i, 1+ns+j, supplies[i], cost[i][j])
+		}
+	}
+	res := g.Solve(src, sink)
+	ship := make([][]int, ns)
+	for i := range ship {
+		ship[i] = make([]int, nd)
+		for j := 0; j < nd; j++ {
+			ship[i][j] = g.Flow(ids[key{i, j}])
+		}
+	}
+	return ship, res.Cost, nil
+}

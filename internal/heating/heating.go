@@ -1,0 +1,176 @@
+// Package heating models the motional-mode (vibrational) energy n̄ of ion
+// chains in a QCCD machine (paper Sections II-B3/II-B4, Fig. 3).
+//
+// Each trap's chain carries an average motional quanta count n̄ that grows
+// from two sources:
+//
+//   - background (anomalous) heating, proportional to elapsed time; and
+//   - shuttle events: SPLIT adds energy to the departing ion and relieves a
+//     share of the source chain's energy (Fig. 3: "split reduces chain-0's
+//     energy"), each MOVE pumps energy into the flying ion ("shuttle adds
+//     energy to q[a1]"), and MERGE deposits the ion's accumulated energy
+//     plus a merge penalty into the destination chain ("merging q[a1]
+//     increases chain-1's energy").
+//
+// The fidelity model (internal/fidelity) consumes n̄: higher chain energy
+// degrades every subsequent gate in that chain, which is exactly the
+// mechanism by which extra shuttles hurt program fidelity and the reason
+// reducing shuttles improves it (paper Section IV-C).
+package heating
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the heating-model constants. Values are literature-plausible
+// stand-ins for the experimentally calibrated numbers embedded in QCCDSim
+// (paper refs [9], [10]); see DESIGN.md "Model constants". All results the
+// paper reports are relative between two compilers sharing this model, so
+// the structure, not the absolute calibration, is what matters.
+type Params struct {
+	// BackgroundRate is quanta gained per microsecond of wall-clock time by
+	// an idle or operating chain (anomalous heating).
+	BackgroundRate float64
+	// SplitIonBump is quanta added to the departing ion by a SPLIT.
+	SplitIonBump float64
+	// MoveIonBump is quanta added to the flying ion per MOVE (one hop).
+	MoveIonBump float64
+	// MergeChainBump is quanta added to the receiving chain by a MERGE, on
+	// top of the energy the arriving ion carries.
+	MergeChainBump float64
+	// SwapChainBump is quanta added to a chain per intra-chain SWAP.
+	SwapChainBump float64
+}
+
+// DefaultParams returns the constants used throughout the evaluation.
+func DefaultParams() Params {
+	return Params{
+		BackgroundRate: 1e-6, // 1 quantum/s — low-end anomalous heating
+		SplitIonBump:   0.05,
+		MoveIonBump:    0.1,
+		MergeChainBump: 0.3,
+		SwapChainBump:  0.02,
+	}
+}
+
+// Validate rejects non-physical (negative) constants.
+func (p Params) Validate() error {
+	if p.BackgroundRate < 0 || p.SplitIonBump < 0 || p.MoveIonBump < 0 ||
+		p.MergeChainBump < 0 || p.SwapChainBump < 0 {
+		return fmt.Errorf("heating: negative parameter in %+v", p)
+	}
+	return nil
+}
+
+// Model tracks n̄ per trap chain and per in-flight ion.
+type Model struct {
+	params Params
+	chainN []float64
+	ionE   []float64
+	maxN   float64
+}
+
+// NewModel returns a model for nTraps chains and nIons ions, all starting at
+// n̄ = 0 (freshly cooled).
+func NewModel(params Params, nTraps, nIons int) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if nTraps <= 0 || nIons < 0 {
+		return nil, fmt.Errorf("heating: bad dimensions traps=%d ions=%d", nTraps, nIons)
+	}
+	return &Model{
+		params: params,
+		chainN: make([]float64, nTraps),
+		ionE:   make([]float64, nIons),
+	}, nil
+}
+
+// Params returns the model constants.
+func (m *Model) Params() Params { return m.params }
+
+// ChainN returns the current motional mode n̄ of trap t's chain.
+func (m *Model) ChainN(t int) float64 { return m.chainN[t] }
+
+// MaxChainN returns the highest n̄ any chain has reached.
+func (m *Model) MaxChainN() float64 { return m.maxN }
+
+// Background advances trap t's chain by dt microseconds of anomalous
+// heating.
+func (m *Model) Background(t int, dt float64) {
+	if dt < 0 {
+		panic("heating: negative time step")
+	}
+	m.bump(t, m.params.BackgroundRate*dt)
+}
+
+// Split applies a SPLIT of ion q out of trap t whose chain had
+// sizeBefore ions: the departing ion carries away its per-ion share of the
+// chain's energy plus the split bump, and the chain's energy drops by that
+// share (Fig. 3: "split reduces chain-0's energy").
+func (m *Model) Split(t, q, sizeBefore int) {
+	if sizeBefore <= 0 {
+		panic("heating: split from empty chain")
+	}
+	share := m.chainN[t] / float64(sizeBefore)
+	m.ionE[q] = share + m.params.SplitIonBump
+	m.chainN[t] -= share
+}
+
+// Move applies one hop's worth of energy to the flying ion q.
+func (m *Model) Move(q int) {
+	m.ionE[q] += m.params.MoveIonBump
+}
+
+// Merge deposits ion q into trap t's chain: the chain absorbs the ion's
+// accumulated energy in full plus the merge penalty (Fig. 3: "merging q[a1]
+// increases chain-1's energy"). sizeAfter is accepted for interface symmetry
+// with Split and validated, though the deposit itself is size-independent.
+func (m *Model) Merge(t, q, sizeAfter int) {
+	if sizeAfter <= 0 {
+		panic("heating: merge into empty accounting")
+	}
+	m.bump(t, m.ionE[q]+m.params.MergeChainBump)
+	m.ionE[q] = 0
+}
+
+// Swap applies one intra-chain swap's heating to trap t.
+func (m *Model) Swap(t int) {
+	m.bump(t, m.params.SwapChainBump)
+}
+
+// IonEnergy returns the in-flight energy of ion q (nonzero only between
+// SPLIT and MERGE).
+func (m *Model) IonEnergy(q int) float64 { return m.ionE[q] }
+
+// Cool resets trap t's chain to n̄ = 0, modelling sympathetic re-cooling.
+// The paper's compilers do not re-cool (energy accumulates, which is why
+// shuttle reduction matters), but the simulator exposes it for ablations.
+func (m *Model) Cool(t int) {
+	m.chainN[t] = 0
+}
+
+// TotalEnergy returns the sum of all chain energies plus in-flight ion
+// energies — a Lyapunov-style diagnostic used by property tests: no
+// operation other than Cool may decrease it.
+func (m *Model) TotalEnergy() float64 {
+	s := 0.0
+	for _, n := range m.chainN {
+		s += n
+	}
+	for _, e := range m.ionE {
+		s += e
+	}
+	return s
+}
+
+func (m *Model) bump(t int, dn float64) {
+	m.chainN[t] += dn
+	if m.chainN[t] > m.maxN {
+		m.maxN = m.chainN[t]
+	}
+	if math.IsNaN(m.chainN[t]) || math.IsInf(m.chainN[t], 0) {
+		panic(fmt.Sprintf("heating: chain %d energy diverged", t))
+	}
+}

@@ -1,0 +1,248 @@
+package heating
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultParams(), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefaultsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	p := DefaultParams()
+	p.MoveIonBump = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative param accepted")
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(DefaultParams(), 0, 5); err == nil {
+		t.Error("zero traps accepted")
+	}
+	if _, err := NewModel(DefaultParams(), 2, -1); err == nil {
+		t.Error("negative ions accepted")
+	}
+	p := DefaultParams()
+	p.BackgroundRate = -1
+	if _, err := NewModel(p, 2, 2); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestBackgroundHeating(t *testing.T) {
+	m := newModel(t)
+	m.Background(0, 1e6) // one second
+	want := DefaultParams().BackgroundRate * 1e6
+	if got := m.ChainN(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ChainN = %g, want %g", got, want)
+	}
+	if m.ChainN(1) != 0 {
+		t.Error("background heating leaked across traps")
+	}
+}
+
+func TestBackgroundNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt should panic")
+		}
+	}()
+	newModel(t).Background(0, -1)
+}
+
+// TestFigure3EnergyFlow pins the Fig. 3 narrative: split reduces the source
+// chain's energy, each move heats the flying ion, and merge increases the
+// destination chain's energy.
+func TestFigure3EnergyFlow(t *testing.T) {
+	p := DefaultParams()
+	m, err := NewModel(p, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-heat chain 0 (T0 = [0 1 2]).
+	m.Background(0, 3e5)
+	before0 := m.ChainN(0)
+	before1 := m.ChainN(1)
+
+	m.Split(0, 2, 3)
+	if got := m.ChainN(0); got >= before0 {
+		t.Errorf("split should reduce source chain energy: %g -> %g", before0, got)
+	}
+	wantIon := before0/3 + p.SplitIonBump
+	if got := m.IonEnergy(2); math.Abs(got-wantIon) > 1e-12 {
+		t.Errorf("departing ion energy = %g, want share+bump = %g", got, wantIon)
+	}
+
+	eBefore := m.IonEnergy(2)
+	m.Move(2)
+	if m.IonEnergy(2) <= eBefore {
+		t.Error("move should heat the flying ion")
+	}
+
+	m.Merge(1, 2, 4)
+	if got := m.ChainN(1); got <= before1 {
+		t.Errorf("merge should increase destination chain energy: %g -> %g", before1, got)
+	}
+	if m.IonEnergy(2) != 0 {
+		t.Error("merged ion should deposit all its energy")
+	}
+}
+
+func TestMoreHopsMoreMergeHeat(t *testing.T) {
+	// A 3-hop transfer must deposit strictly more energy than a 1-hop one —
+	// the physical basis of nearest-neighbor-first re-balancing (Fig. 7).
+	run := func(hops int) float64 {
+		m, err := NewModel(DefaultParams(), 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Split(0, 0, 2)
+		for i := 0; i < hops; i++ {
+			m.Move(0)
+		}
+		m.Merge(1, 0, 3)
+		return m.ChainN(1)
+	}
+	if run(3) <= run(1) {
+		t.Error("3-hop merge should heat more than 1-hop merge")
+	}
+}
+
+func TestSwapHeating(t *testing.T) {
+	m := newModel(t)
+	m.Swap(1)
+	if got := m.ChainN(1); got != DefaultParams().SwapChainBump {
+		t.Errorf("swap heat = %g", got)
+	}
+}
+
+func TestCool(t *testing.T) {
+	m := newModel(t)
+	m.Background(2, 1e6)
+	m.Cool(2)
+	if m.ChainN(2) != 0 {
+		t.Error("cool should zero the chain")
+	}
+}
+
+func TestMaxChainN(t *testing.T) {
+	m := newModel(t)
+	m.Background(0, 2e6)
+	peak := m.ChainN(0)
+	m.Cool(0)
+	if m.MaxChainN() != peak {
+		t.Errorf("MaxChainN = %g, want %g (peak survives cooling)", m.MaxChainN(), peak)
+	}
+}
+
+func TestSplitPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("split from empty chain should panic")
+		}
+	}()
+	newModel(t).Split(0, 0, 0)
+}
+
+func TestMergePanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge with zero size should panic")
+		}
+	}()
+	newModel(t).Merge(0, 0, 0)
+}
+
+// Property: TotalEnergy is non-decreasing under every operation except Cool.
+func TestQuickEnergyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewModel(DefaultParams(), 3, 4)
+		if err != nil {
+			return false
+		}
+		// Track which ions are in flight to keep calls physical.
+		inFlight := make([]bool, 4)
+		chainSize := []int{2, 1, 1}
+		trapOf := []int{0, 0, 1, 2}
+		prev := m.TotalEnergy()
+		for i := 0; i < 60; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				m.Background(rng.Intn(3), rng.Float64()*1e4)
+			case 1:
+				m.Swap(rng.Intn(3))
+			case 2: // split+moves+merge of a random settled ion
+				q := rng.Intn(4)
+				if inFlight[q] {
+					continue
+				}
+				from := trapOf[q]
+				if chainSize[from] == 0 {
+					continue
+				}
+				m.Split(from, q, chainSize[from])
+				chainSize[from]--
+				hops := 1 + rng.Intn(3)
+				for h := 0; h < hops; h++ {
+					m.Move(q)
+				}
+				to := rng.Intn(3)
+				chainSize[to]++
+				m.Merge(to, q, chainSize[to])
+				trapOf[q] = to
+			case 3:
+				// No-op round; checks stability.
+			}
+			cur := m.TotalEnergy()
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: split conserves or increases energy (ion carries chain share +
+// bump; chain loses exactly the share).
+func TestQuickSplitAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewModel(DefaultParams(), 1, 1)
+		if err != nil {
+			return false
+		}
+		m.Background(0, rng.Float64()*1e6)
+		size := 2 + rng.Intn(10)
+		chainBefore := m.ChainN(0)
+		m.Split(0, 0, size)
+		wantChain := chainBefore * float64(size-1) / float64(size)
+		if math.Abs(m.ChainN(0)-wantChain) > 1e-9 {
+			return false
+		}
+		wantIon := chainBefore/float64(size) + DefaultParams().SplitIonBump
+		return math.Abs(m.IonEnergy(0)-wantIon) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

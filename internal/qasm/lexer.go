@@ -1,0 +1,201 @@
+// Package qasm implements a reader and writer for the subset of OpenQASM 2.0
+// needed by the benchmark suite: a single quantum register, the standard
+// gates recognised by the circuit package, barriers, and measurements.
+//
+// The Go ecosystem has no QASM support, so this package is built from
+// scratch: a hand-written lexer, a recursive-descent parser with a small
+// constant-expression evaluator for angle arguments (supporting pi, + - * /,
+// unary minus and parentheses), and a deterministic writer whose output
+// round-trips through the parser.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // single punctuation: ; , ( ) [ ] { } + - * / ->
+	tokArrow
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("qasm: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+// skipSpace consumes whitespace and // comments.
+func (l *lexer) skipSpace() {
+	for {
+		b, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for {
+				b, ok := l.peekByte()
+				if !ok || b == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	line, col := l.line, l.col
+	b, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case isIdentStart(b):
+		start := l.pos
+		for {
+			b, ok := l.peekByte()
+			if !ok || !isIdentPart(b) {
+				break
+			}
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	case isDigit(b) || b == '.':
+		start := l.pos
+		seenE := false
+		for {
+			b, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if isDigit(b) || b == '.' {
+				l.advance()
+				continue
+			}
+			if (b == 'e' || b == 'E') && !seenE {
+				seenE = true
+				l.advance()
+				if nb, ok := l.peekByte(); ok && (nb == '+' || nb == '-') {
+					l.advance()
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	case b == '"':
+		l.advance()
+		start := l.pos
+		for {
+			b, ok := l.peekByte()
+			if !ok {
+				return token{}, l.errorf("unterminated string")
+			}
+			if b == '"' {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		return token{kind: tokString, text: text, line: line, col: col}, nil
+	case b == '-':
+		l.advance()
+		if nb, ok := l.peekByte(); ok && nb == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "->", line: line, col: col}, nil
+		}
+		return token{kind: tokSymbol, text: "-", line: line, col: col}, nil
+	case strings.IndexByte(";,()[]{}+*/=", b) >= 0:
+		l.advance()
+		return token{kind: tokSymbol, text: string(b), line: line, col: col}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", b)
+	}
+}
+
+// lexAll tokenizes the whole input (used by the parser, which needs one token
+// of lookahead).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,672 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"muzzle/internal/circuit"
+)
+
+// Parse reads OpenQASM 2.0 source and returns the circuit it describes.
+//
+// Supported subset:
+//   - OPENQASM 2.0; and include "..."; headers (include is ignored)
+//   - one qreg declaration (multiple qregs are concatenated into one
+//     register, offset in declaration order) and creg declarations (ignored
+//     beyond syntax)
+//   - gate applications with optional parenthesised angle expressions
+//   - barrier over explicit qubits or whole registers
+//   - measure q[i] -> c[i]; (classical target ignored)
+//
+// Gate definitions ("gate ... { }") are parsed and expanded inline when
+// applied, so files from common generators (Qiskit dumps) load correctly.
+func Parse(name, src string) (*circuit.Circuit, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, name: name, regs: map[string]regInfo{}, macros: map[string]*macro{}}
+	return p.parseProgram()
+}
+
+type regInfo struct {
+	offset int
+	size   int
+	kind   byte // 'q' or 'c'
+}
+
+// macro is a user gate definition.
+type macro struct {
+	params []string // formal angle parameters
+	args   []string // formal qubit parameters
+	body   []macroOp
+}
+
+type macroOp struct {
+	name   string
+	params []expr   // expressions over macro params
+	args   []string // formal qubit names
+}
+
+// expr is a parsed constant expression tree over named parameters.
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varExpr string
+
+func (v varExpr) eval(env map[string]float64) (float64, error) {
+	if string(v) == "pi" {
+		return math.Pi, nil
+	}
+	x, ok := env[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("unknown identifier %q in expression", string(v))
+	}
+	return x, nil
+}
+
+type unaryExpr struct {
+	op byte
+	x  expr
+}
+
+func (u unaryExpr) eval(env map[string]float64) (float64, error) {
+	x, err := u.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if u.op == '-' {
+		return -x, nil
+	}
+	return x, nil
+}
+
+type binExpr struct {
+	op   byte
+	l, r expr
+}
+
+func (b binExpr) eval(env map[string]float64) (float64, error) {
+	l, err := b.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero in expression")
+		}
+		return l / r, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", b.op)
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	name   string
+	regs   map[string]regInfo
+	qsize  int
+	macros map[string]*macro
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("qasm %q: line %d: %s", p.name, t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.advance()
+	if t.kind != tokSymbol && t.kind != tokArrow || t.text != s {
+		return p.errorf(t, "expected %q, found %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return t, p.errorf(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*circuit.Circuit, error) {
+	// Header: OPENQASM 2.0;
+	if t := p.cur(); t.kind == tokIdent && t.text == "OPENQASM" {
+		p.advance()
+		if t := p.advance(); t.kind != tokNumber {
+			return nil, p.errorf(t, "expected version number")
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+	}
+	// First pass collects register declarations and gate defs while building
+	// the op list; circuit allocation is deferred until first qreg is known.
+	var pending []func(c *circuit.Circuit) error
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return nil, p.errorf(t, "expected statement, found %s", t)
+		}
+		switch t.text {
+		case "include":
+			p.advance()
+			if t := p.advance(); t.kind != tokString {
+				return nil, p.errorf(t, "expected include path string")
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return nil, err
+			}
+		case "qreg", "creg":
+			if err := p.parseRegDecl(t.text); err != nil {
+				return nil, err
+			}
+		case "gate":
+			if err := p.parseGateDef(); err != nil {
+				return nil, err
+			}
+		case "barrier":
+			ops, err := p.parseBarrier()
+			if err != nil {
+				return nil, err
+			}
+			pending = append(pending, ops)
+		case "measure":
+			ops, err := p.parseMeasure()
+			if err != nil {
+				return nil, err
+			}
+			pending = append(pending, ops)
+		case "if", "reset", "opaque":
+			return nil, p.errorf(t, "unsupported statement %q", t.text)
+		default:
+			ops, err := p.parseApplication()
+			if err != nil {
+				return nil, err
+			}
+			pending = append(pending, ops)
+		}
+	}
+	if p.qsize == 0 {
+		return nil, fmt.Errorf("qasm %q: no qreg declared", p.name)
+	}
+	c := circuit.New(p.name, p.qsize)
+	for _, f := range pending {
+		if err := f(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (p *parser) parseRegDecl(kind string) error {
+	p.advance() // qreg/creg
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("["); err != nil {
+		return err
+	}
+	sizeTok := p.advance()
+	if sizeTok.kind != tokNumber {
+		return p.errorf(sizeTok, "expected register size")
+	}
+	size, err := strconv.Atoi(sizeTok.text)
+	if err != nil || size <= 0 {
+		return p.errorf(sizeTok, "invalid register size %q", sizeTok.text)
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if _, dup := p.regs[nameTok.text]; dup {
+		return p.errorf(nameTok, "register %q redeclared", nameTok.text)
+	}
+	ri := regInfo{size: size, kind: kind[0]}
+	if kind == "qreg" {
+		ri.offset = p.qsize
+		p.qsize += size
+	}
+	p.regs[nameTok.text] = ri
+	return nil
+}
+
+// parseQubitRef parses name[idx] or bare name (whole register) and returns
+// the global qubit indices.
+func (p *parser) parseQubitRef() ([]int, error) {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ri, ok := p.regs[nameTok.text]
+	if !ok {
+		return nil, p.errorf(nameTok, "unknown register %q", nameTok.text)
+	}
+	if ri.kind != 'q' {
+		return nil, p.errorf(nameTok, "register %q is classical", nameTok.text)
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "[" {
+		p.advance()
+		idxTok := p.advance()
+		if idxTok.kind != tokNumber {
+			return nil, p.errorf(idxTok, "expected qubit index")
+		}
+		idx, err := strconv.Atoi(idxTok.text)
+		if err != nil || idx < 0 || idx >= ri.size {
+			return nil, p.errorf(idxTok, "qubit index %q out of range for %s[%d]", idxTok.text, nameTok.text, ri.size)
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return nil, err
+		}
+		return []int{ri.offset + idx}, nil
+	}
+	all := make([]int, ri.size)
+	for i := range all {
+		all[i] = ri.offset + i
+	}
+	return all, nil
+}
+
+// parseCbitRef parses and discards a classical bit reference.
+func (p *parser) parseCbitRef() error {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	ri, ok := p.regs[nameTok.text]
+	if !ok || ri.kind != 'c' {
+		return p.errorf(nameTok, "unknown classical register %q", nameTok.text)
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "[" {
+		p.advance()
+		if t := p.advance(); t.kind != tokNumber {
+			return p.errorf(t, "expected bit index")
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseBarrier() (func(*circuit.Circuit) error, error) {
+	tok := p.advance() // barrier
+	var qubits []int
+	for {
+		qs, err := p.parseQubitRef()
+		if err != nil {
+			return nil, err
+		}
+		qubits = append(qubits, qs...)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	return func(c *circuit.Circuit) error {
+		if err := c.Append(circuit.Gate{Name: "barrier", Qubits: qubits}); err != nil {
+			return p.errorf(tok, "%v", err)
+		}
+		return nil
+	}, nil
+}
+
+func (p *parser) parseMeasure() (func(*circuit.Circuit) error, error) {
+	tok := p.advance() // measure
+	qs, err := p.parseQubitRef()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("->"); err != nil {
+		return nil, err
+	}
+	if err := p.parseCbitRef(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	return func(c *circuit.Circuit) error {
+		for _, q := range qs {
+			if err := c.Append(circuit.Gate{Name: "measure", Qubits: []int{q}}); err != nil {
+				return p.errorf(tok, "%v", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// parseGateDef parses "gate name(p1,p2) a,b { body }".
+func (p *parser) parseGateDef() error {
+	p.advance() // gate
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	m := &macro{}
+	if p.cur().kind == tokSymbol && p.cur().text == "(" {
+		p.advance()
+		for p.cur().kind != tokSymbol || p.cur().text != ")" {
+			pt, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			m.params = append(m.params, pt.text)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+			}
+		}
+		p.advance() // )
+	}
+	for {
+		at, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		m.args = append(m.args, at.text)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	for p.cur().kind != tokSymbol || p.cur().text != "}" {
+		if p.cur().kind == tokEOF {
+			return p.errorf(p.cur(), "unterminated gate body for %q", nameTok.text)
+		}
+		op := macroOp{}
+		nt, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		op.name = nt.text
+		if p.cur().kind == tokSymbol && p.cur().text == "(" {
+			p.advance()
+			for p.cur().kind != tokSymbol || p.cur().text != ")" {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				op.params = append(op.params, e)
+				if p.cur().kind == tokSymbol && p.cur().text == "," {
+					p.advance()
+				}
+			}
+			p.advance() // )
+		}
+		for {
+			at, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			op.args = append(op.args, at.text)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return err
+		}
+		m.body = append(m.body, op)
+	}
+	p.advance() // }
+	p.macros[nameTok.text] = m
+	return nil
+}
+
+// parseApplication parses a gate application statement and returns a closure
+// that appends the expanded gates.
+func (p *parser) parseApplication() (func(*circuit.Circuit) error, error) {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var params []float64
+	if p.cur().kind == tokSymbol && p.cur().text == "(" {
+		p.advance()
+		for p.cur().kind != tokSymbol || p.cur().text != ")" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			v, err := e.eval(nil)
+			if err != nil {
+				return nil, p.errorf(nameTok, "%v", err)
+			}
+			params = append(params, v)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+			}
+		}
+		p.advance() // )
+	}
+	var operands [][]int
+	for {
+		qs, err := p.parseQubitRef()
+		if err != nil {
+			return nil, err
+		}
+		operands = append(operands, qs)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	name := nameTok.text
+	return func(c *circuit.Circuit) error {
+		// Broadcast whole-register operands like QASM does: all operand
+		// lists must have equal length (or length 1).
+		width := 1
+		for _, o := range operands {
+			if len(o) > width {
+				width = len(o)
+			}
+		}
+		for i := 0; i < width; i++ {
+			qubits := make([]int, len(operands))
+			for j, o := range operands {
+				if len(o) == 1 {
+					qubits[j] = o[0]
+				} else if i < len(o) {
+					qubits[j] = o[i]
+				} else {
+					return p.errorf(nameTok, "mismatched register lengths in %q application", name)
+				}
+			}
+			if err := p.applyGate(c, nameTok, name, params, qubits, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+const maxMacroDepth = 32
+
+func (p *parser) applyGate(c *circuit.Circuit, tok token, name string, params []float64, qubits []int, depth int) error {
+	if depth > maxMacroDepth {
+		return p.errorf(tok, "gate %q expansion too deep (recursive definition?)", name)
+	}
+	if m, ok := p.macros[name]; ok {
+		if len(qubits) != len(m.args) {
+			return p.errorf(tok, "gate %q expects %d qubits, got %d", name, len(m.args), len(qubits))
+		}
+		if len(params) != len(m.params) {
+			return p.errorf(tok, "gate %q expects %d parameters, got %d", name, len(m.params), len(params))
+		}
+		env := make(map[string]float64, len(m.params))
+		for i, pn := range m.params {
+			env[pn] = params[i]
+		}
+		qenv := make(map[string]int, len(m.args))
+		for i, an := range m.args {
+			qenv[an] = qubits[i]
+		}
+		for _, op := range m.body {
+			vals := make([]float64, len(op.params))
+			for i, e := range op.params {
+				v, err := e.eval(env)
+				if err != nil {
+					return p.errorf(tok, "in gate %q: %v", name, err)
+				}
+				vals[i] = v
+			}
+			qs := make([]int, len(op.args))
+			for i, a := range op.args {
+				q, ok := qenv[a]
+				if !ok {
+					return p.errorf(tok, "in gate %q: unknown qubit argument %q", name, a)
+				}
+				qs[i] = q
+			}
+			if err := p.applyGate(c, tok, op.name, vals, qs, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Built-in gate: normalize the QASM u1/u2/u3 family and CX alias.
+	switch name {
+	case "CX":
+		name = "cx"
+	case "u1":
+		name = "rz"
+	case "u2":
+		if len(params) == 2 {
+			params = []float64{math.Pi / 2, params[0], params[1]}
+		}
+		name = "u"
+	case "id":
+		return nil
+	}
+	g := circuit.Gate{Name: name, Qubits: qubits, Params: params}
+	if err := c.Append(g); err != nil {
+		return p.errorf(tok, "%v", err)
+	}
+	return nil
+}
+
+// parseExpr parses an angle expression: term (('+'|'-') term)*.
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.advance().text[0]
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && (p.cur().text == "*" || p.cur().text == "/") {
+		op := p.advance().text[0]
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokSymbol && t.text == "-":
+		p.advance()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: '-', x: x}, nil
+	case t.kind == tokSymbol && t.text == "+":
+		p.advance()
+		return p.parseFactor()
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf(t, "bad number %q", t.text)
+		}
+		return numExpr(v), nil
+	case t.kind == tokIdent:
+		p.advance()
+		return varExpr(t.text), nil
+	default:
+		return nil, p.errorf(t, "unexpected token %s in expression", t)
+	}
+}
+
+// stripExt trims a trailing extension from a name; helper for callers naming
+// circuits after files.
+func stripExt(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,374 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"muzzle/internal/circuit"
+)
+
+const sampleSrc = `
+OPENQASM 2.0;
+include "qelib1.inc";
+// the 9-gate sample program of paper Fig. 2
+qreg q[6];
+ms q[0],q[1];
+ms q[2],q[3];
+ms q[2],q[0];
+ms q[4],q[5];
+ms q[0],q[3];
+ms q[2],q[5];
+ms q[4],q[5];
+ms q[0],q[1];
+ms q[2],q[3];
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse("fig2", sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 6 {
+		t.Errorf("NumQubits = %d, want 6", c.NumQubits)
+	}
+	if len(c.Gates) != 9 {
+		t.Fatalf("gates = %d, want 9", len(c.Gates))
+	}
+	if c.Gates[4].Qubits[0] != 0 || c.Gates[4].Qubits[1] != 3 {
+		t.Errorf("gate 4 = %v", c.Gates[4])
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	src := `qreg q[2];
+rz(pi/2) q[0];
+r(-pi/4, 2*pi) q[1];
+rz(1.5e-3) q[0];
+rz((pi+1)/2) q[1];
+`
+	c, err := Parse("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Gates[0].Params[0]; math.Abs(got-math.Pi/2) > 1e-15 {
+		t.Errorf("pi/2 = %g", got)
+	}
+	if got := c.Gates[1].Params[0]; math.Abs(got+math.Pi/4) > 1e-15 {
+		t.Errorf("-pi/4 = %g", got)
+	}
+	if got := c.Gates[1].Params[1]; math.Abs(got-2*math.Pi) > 1e-15 {
+		t.Errorf("2*pi = %g", got)
+	}
+	if got := c.Gates[2].Params[0]; got != 1.5e-3 {
+		t.Errorf("1.5e-3 = %g", got)
+	}
+	if got := c.Gates[3].Params[0]; math.Abs(got-(math.Pi+1)/2) > 1e-15 {
+		t.Errorf("(pi+1)/2 = %g", got)
+	}
+}
+
+func TestParseMeasureAndBarrier(t *testing.T) {
+	src := `qreg q[3];
+creg c[3];
+h q[0];
+barrier q;
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+	c, err := Parse("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []circuit.GateKind
+	for _, g := range c.Gates {
+		kinds = append(kinds, g.Kind())
+	}
+	want := []circuit.GateKind{circuit.Kind1Q, circuit.KindBarrier, circuit.KindMeasure, circuit.KindMeasure}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if len(c.Gates[1].Qubits) != 3 {
+		t.Errorf("whole-register barrier should cover 3 qubits, got %v", c.Gates[1].Qubits)
+	}
+}
+
+func TestParseWholeRegisterBroadcast(t *testing.T) {
+	src := `qreg q[4];
+h q;
+`
+	c, err := Parse("b", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 4 {
+		t.Fatalf("h q over q[4] should expand to 4 gates, got %d", len(c.Gates))
+	}
+}
+
+func TestParseGateDefinitionExpansion(t *testing.T) {
+	src := `qreg q[2];
+gate zz(theta) a,b { cx a,b; rz(theta) b; cx a,b; }
+zz(pi/3) q[0],q[1];
+`
+	c, err := Parse("g", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 3 {
+		t.Fatalf("expanded gates = %d, want 3", len(c.Gates))
+	}
+	if c.Gates[1].Name != "rz" || math.Abs(c.Gates[1].Params[0]-math.Pi/3) > 1e-15 {
+		t.Errorf("middle gate = %v", c.Gates[1])
+	}
+	if c.Gates[0].Name != "cx" || c.Gates[2].Name != "cx" {
+		t.Errorf("outer gates = %v, %v", c.Gates[0], c.Gates[2])
+	}
+}
+
+func TestParseNestedGateDefinition(t *testing.T) {
+	src := `qreg q[2];
+gate mycx a,b { cx a,b; }
+gate double a,b { mycx a,b; mycx b,a; }
+double q[0],q[1];
+`
+	c, err := Parse("n", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Fatalf("gates = %d, want 2", len(c.Gates))
+	}
+	if c.Gates[1].Qubits[0] != 1 || c.Gates[1].Qubits[1] != 0 {
+		t.Errorf("argument permutation lost: %v", c.Gates[1])
+	}
+}
+
+func TestParseMultipleQregs(t *testing.T) {
+	src := `qreg a[2];
+qreg b[3];
+cx a[1],b[0];
+`
+	c, err := Parse("mq", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 5 {
+		t.Errorf("NumQubits = %d, want 5", c.NumQubits)
+	}
+	g := c.Gates[0]
+	if g.Qubits[0] != 1 || g.Qubits[1] != 2 {
+		t.Errorf("offsets wrong: %v", g)
+	}
+}
+
+func TestParseU1U2Aliases(t *testing.T) {
+	src := `qreg q[1];
+u1(0.5) q[0];
+u2(0.1,0.2) q[0];
+u3(0.1,0.2,0.3) q[0];
+CX q[0],q[0];
+`
+	// CX q0,q0 is invalid (duplicate); split the check.
+	src = strings.Replace(src, "CX q[0],q[0];\n", "", 1)
+	c, err := Parse("u", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Name != "rz" {
+		t.Errorf("u1 should alias rz, got %q", c.Gates[0].Name)
+	}
+	if c.Gates[1].Name != "u" || len(c.Gates[1].Params) != 3 {
+		t.Errorf("u2 should alias u with 3 params, got %v", c.Gates[1])
+	}
+}
+
+func TestParseCXAlias(t *testing.T) {
+	src := "qreg q[2];\nCX q[0],q[1];\n"
+	c, err := Parse("cx", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Name != "cx" {
+		t.Errorf("CX should lower to cx, got %q", c.Gates[0].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no qreg", "h q[0];"},
+		{"bad index", "qreg q[2];\nh q[5];"},
+		{"negative size", "qreg q[0];"},
+		{"unknown reg", "qreg q[2];\nh r[0];"},
+		{"redeclared", "qreg q[2];\nqreg q[3];"},
+		{"missing semicolon", "qreg q[2]\nh q[0];"},
+		{"division by zero", "qreg q[1];\nrz(1/0) q[0];"},
+		{"unsupported if", "qreg q[1];\ncreg c[1];\nif (c==1) x q[0];"},
+		{"unterminated gate", "qreg q[1];\ngate foo a { x a;"},
+		{"classical as qubit", "qreg q[1];\ncreg c[1];\nh c[0];"},
+		{"measure to qreg", "qreg q[2];\nmeasure q[0] -> q[1];"},
+		{"duplicate operand", "qreg q[2];\ncx q[1],q[1];"},
+		{"bad macro arity", "qreg q[2];\ngate foo a,b { cx a,b; }\nfoo q[0];"},
+		{"unterminated string", "include \"abc"},
+		{"stray char", "qreg q[2];\n@ q[0];"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.name, tc.src); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestRecursiveMacroRejected(t *testing.T) {
+	src := `qreg q[1];
+gate loop a { loop a; }
+loop q[0];
+`
+	if _, err := Parse("rec", src); err == nil {
+		t.Fatal("expected recursion depth error")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	c := circuit.New("rt", 4)
+	c.Add1Q("h", 0)
+	c.Add2Q("cx", 0, 1)
+	c.Add2Q("ms", 2, 3, math.Pi/4)
+	c.Add1Q("rz", 2, -1.25)
+	c.MustAppend(circuit.Gate{Name: "barrier", Qubits: []int{0, 1, 2, 3}})
+	c.MustAppend(circuit.Gate{Name: "measure", Qubits: []int{0}})
+
+	src, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse("rt", src)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\nsource:\n%s", err, src)
+	}
+	if got.NumQubits != c.NumQubits || len(got.Gates) != len(c.Gates) {
+		t.Fatalf("round trip mismatch: %d/%d gates", len(got.Gates), len(c.Gates))
+	}
+	for i := range c.Gates {
+		if got.Gates[i].String() != c.Gates[i].String() {
+			t.Errorf("gate %d: %q != %q", i, got.Gates[i], c.Gates[i])
+		}
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	c := circuit.New("bad", 2)
+	c.Gates = append(c.Gates, circuit.Gate{Name: "ms", Qubits: []int{0, 7}})
+	if _, err := WriteString(c); err == nil {
+		t.Fatal("expected error writing invalid circuit")
+	}
+}
+
+func TestParseWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/test.qasm"
+	c := circuit.New("test", 3)
+	c.Add2Q("cx", 0, 2)
+	if err := WriteFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "test" {
+		t.Errorf("circuit name = %q, want %q (file stem)", got.Name, "test")
+	}
+	if len(got.Gates) != 1 || got.Gates[0].Name != "cx" {
+		t.Errorf("gates = %v", got.Gates)
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/nope.qasm"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: Parse(Write(c)) == c for random native-gate circuits.
+	gates := []struct {
+		name  string
+		arity int
+		np    int
+	}{
+		{"r", 1, 2}, {"rz", 1, 1}, {"ms", 2, 1}, {"cx", 2, 0}, {"h", 1, 0},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		c := circuit.New("q", n)
+		for i := 0; i < rng.Intn(60); i++ {
+			spec := gates[rng.Intn(len(gates))]
+			qs := rng.Perm(n)[:spec.arity]
+			ps := make([]float64, spec.np)
+			for j := range ps {
+				ps[j] = (rng.Float64() - 0.5) * 4 * math.Pi
+			}
+			c.MustAppend(circuit.Gate{Name: spec.name, Qubits: qs, Params: ps})
+		}
+		src, err := WriteString(c)
+		if err != nil {
+			return false
+		}
+		got, err := Parse("q", src)
+		if err != nil {
+			return false
+		}
+		if got.NumQubits != c.NumQubits || len(got.Gates) != len(c.Gates) {
+			return false
+		}
+		for i := range c.Gates {
+			a, b := c.Gates[i], got.Gates[i]
+			if a.Name != b.Name || len(a.Qubits) != len(b.Qubits) || len(a.Params) != len(b.Params) {
+				return false
+			}
+			for j := range a.Qubits {
+				if a.Qubits[j] != b.Qubits[j] {
+					return false
+				}
+			}
+			for j := range a.Params {
+				if math.Abs(a.Params[j]-b.Params[j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	src := "qreg q[1]; // trailing comment\n// full line\nh q[0];"
+	c, err := Parse("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 {
+		t.Fatalf("gates = %d", len(c.Gates))
+	}
+}
+
+func TestStripExt(t *testing.T) {
+	if stripExt("foo.qasm") != "foo" || stripExt("bar") != "bar" || stripExt("a.b.c") != "a.b" {
+		t.Fatal("stripExt wrong")
+	}
+}

@@ -1,0 +1,107 @@
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"muzzle/internal/circuit"
+)
+
+// Write serializes the circuit as OpenQASM 2.0 to w. The output uses a
+// single register named q and a classical register c sized to the number of
+// measurements, and round-trips through Parse.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("qasm: refusing to write invalid circuit: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	nMeasure := 0
+	for _, g := range c.Gates {
+		if g.Kind() == circuit.KindMeasure {
+			nMeasure++
+		}
+	}
+	if nMeasure > 0 {
+		fmt.Fprintf(&b, "creg c[%d];\n", nMeasure)
+	}
+	mIdx := 0
+	for _, g := range c.Gates {
+		switch g.Kind() {
+		case circuit.KindBarrier:
+			b.WriteString("barrier ")
+			for i, q := range g.Qubits {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "q[%d]", q)
+			}
+			b.WriteString(";\n")
+		case circuit.KindMeasure:
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Qubits[0], mIdx)
+			mIdx++
+		default:
+			b.WriteString(g.Name)
+			if len(g.Params) > 0 {
+				b.WriteByte('(')
+				for i, p := range g.Params {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%.17g", p)
+				}
+				b.WriteByte(')')
+			}
+			b.WriteByte(' ')
+			for i, q := range g.Qubits {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "q[%d]", q)
+			}
+			b.WriteString(";\n")
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteString serializes the circuit and returns the QASM source.
+func WriteString(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// WriteFile serializes the circuit to the named file.
+func WriteFile(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseFile reads and parses a QASM file; the circuit is named after the
+// file stem.
+func ParseFile(path string) (*circuit.Circuit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return Parse(stripExt(base), string(data))
+}

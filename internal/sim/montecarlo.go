@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"muzzle/internal/machine"
+)
+
+// SuccessEstimate is the outcome of a Monte Carlo success-probability
+// estimation.
+type SuccessEstimate struct {
+	// Mean is the fraction of trials in which no gate failed — the Monte
+	// Carlo estimate of program fidelity under the independent-error
+	// model.
+	Mean float64
+	// StdErr is the binomial standard error of Mean.
+	StdErr float64
+	// Trials is the sample count.
+	Trials int
+	// Analytic is the closed-form program fidelity (product of gate
+	// fidelities) for comparison; Mean converges to it as Trials grows.
+	Analytic float64
+}
+
+// SampleSuccess estimates the program success probability by Monte Carlo:
+// it replays the trace once through the analytic simulator to obtain every
+// gate's fidelity, then samples `trials` runs in which each gate fails
+// independently with probability 1 - F(gate). A run succeeds when no gate
+// fails.
+//
+// Under this independence model the estimate converges to the analytic
+// product, so the sampler is primarily a consistency check and a base for
+// extensions with correlated errors; it also gives confidence intervals,
+// which the analytic number alone does not.
+func SampleSuccess(cfg machine.Config, initial [][]int, ops []machine.Op, params Params, trials int, seed int64) (*SuccessEstimate, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
+	}
+	rep, err := Simulate(cfg, initial, ops, params)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	successes := 0
+	for t := 0; t < trials; t++ {
+		ok := true
+		for _, f := range rep.GateFidelities {
+			if rng.Float64() >= f {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			successes++
+		}
+	}
+	mean := float64(successes) / float64(trials)
+	return &SuccessEstimate{
+		Mean:     mean,
+		StdErr:   math.Sqrt(mean * (1 - mean) / float64(trials)),
+		Trials:   trials,
+		Analytic: rep.Fidelity,
+	}, nil
+}

@@ -1,0 +1,206 @@
+// Package topo models the interconnection topology of a multi-trap QCCD
+// machine: traps are nodes, shuttle paths are edges (paper Fig. 1, Fig. 7).
+//
+// The paper evaluates on the "L6" topology — six traps in a line — from
+// Murali et al. (ISCA 2020); that work also studies rings and grids, so this
+// package provides all three families plus shortest-path queries used by the
+// re-balancing logic (Algorithm 2 needs "shortest distance between
+// source trap and candidate destination trap on trap topology").
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is an undirected graph over traps 0..N-1. It is immutable after
+// construction; all queries are precomputed.
+type Topology struct {
+	name  string
+	n     int
+	adj   [][]int
+	dist  [][]int // all-pairs hop distances
+	nextH [][]int // nextH[s][d] = neighbor of s on a shortest s->d path
+}
+
+// New builds a topology from an edge list. Edges are undirected; duplicates
+// and self-loops are rejected. The graph must be connected.
+func New(name string, n int, edges [][2]int) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: non-positive trap count %d", n)
+	}
+	t := &Topology{name: name, n: n, adj: make([][]int, n)}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("topo %q: edge (%d,%d) out of range for %d traps", name, a, b, n)
+		}
+		if a == b {
+			return nil, fmt.Errorf("topo %q: self-loop at trap %d", name, a)
+		}
+		key := [2]int{min(a, b), max(a, b)}
+		if seen[key] {
+			return nil, fmt.Errorf("topo %q: duplicate edge (%d,%d)", name, a, b)
+		}
+		seen[key] = true
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
+	for i := range t.adj {
+		sort.Ints(t.adj[i])
+	}
+	if err := t.computePaths(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// computePaths runs BFS from every trap, filling dist and nextH.
+func (t *Topology) computePaths() error {
+	t.dist = make([][]int, t.n)
+	t.nextH = make([][]int, t.n)
+	for s := 0; s < t.n; s++ {
+		dist := make([]int, t.n)
+		next := make([]int, t.n)
+		for i := range dist {
+			dist[i] = -1
+			next[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		parent := make([]int, t.n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range t.adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		for d := 0; d < t.n; d++ {
+			if dist[d] < 0 {
+				return fmt.Errorf("topo %q: trap %d unreachable from trap %d", t.name, d, s)
+			}
+			if d == s {
+				continue
+			}
+			// Walk back from d to the neighbor of s.
+			v := d
+			for parent[v] != s {
+				v = parent[v]
+			}
+			next[d] = v
+		}
+		t.dist[s] = dist
+		t.nextH[s] = next
+	}
+	return nil
+}
+
+// Name returns the topology's name (e.g. "L6").
+func (t *Topology) Name() string { return t.name }
+
+// NumTraps returns the number of traps.
+func (t *Topology) NumTraps() int { return t.n }
+
+// Neighbors returns the traps adjacent to trap i (sorted ascending). The
+// returned slice must not be modified.
+func (t *Topology) Neighbors(i int) []int { return t.adj[i] }
+
+// Distance returns the hop distance between traps a and b.
+func (t *Topology) Distance(a, b int) int { return t.dist[a][b] }
+
+// NextHop returns the neighbor of src on a shortest path toward dst, or -1
+// if src == dst. When several shortest paths exist, the lowest-numbered
+// neighbor discovered by BFS is returned deterministically.
+func (t *Topology) NextHop(src, dst int) int {
+	if src == dst {
+		return -1
+	}
+	return t.nextH[src][dst]
+}
+
+// Path returns the trap sequence from src to dst inclusive along a shortest
+// path.
+func (t *Topology) Path(src, dst int) []int {
+	path := []int{src}
+	for src != dst {
+		src = t.NextHop(src, dst)
+		path = append(path, src)
+	}
+	return path
+}
+
+// Diameter returns the maximum shortest-path distance over all trap pairs.
+func (t *Topology) Diameter() int {
+	d := 0
+	for a := 0; a < t.n; a++ {
+		for b := 0; b < t.n; b++ {
+			if t.dist[a][b] > d {
+				d = t.dist[a][b]
+			}
+		}
+	}
+	return d
+}
+
+// Linear returns the L-n topology: n traps in a line, as in the paper's L6
+// hardware model (Section IV-A).
+func Linear(n int) *Topology {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	t, err := New(fmt.Sprintf("L%d", n), n, edges)
+	if err != nil {
+		panic(err) // cannot happen for generated edges
+	}
+	return t
+}
+
+// Ring returns n traps in a cycle.
+func Ring(n int) *Topology {
+	if n < 3 {
+		panic("topo: ring needs at least 3 traps")
+	}
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	t, err := New(fmt.Sprintf("R%d", n), n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Grid returns a rows x cols mesh of traps, numbered row-major.
+func Grid(rows, cols int) *Topology {
+	if rows <= 0 || cols <= 0 {
+		panic("topo: grid dimensions must be positive")
+	}
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	t, err := New(fmt.Sprintf("G%dx%d", rows, cols), rows*cols, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,197 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearL6(t *testing.T) {
+	l6 := Linear(6)
+	if l6.Name() != "L6" {
+		t.Errorf("name = %q", l6.Name())
+	}
+	if l6.NumTraps() != 6 {
+		t.Errorf("traps = %d", l6.NumTraps())
+	}
+	// Fig. 7's claim: T4 -> T0 is 4 shuttles, T4 -> T3 and T4 -> T5 are 1.
+	if d := l6.Distance(4, 0); d != 4 {
+		t.Errorf("dist(4,0) = %d, want 4", d)
+	}
+	if d := l6.Distance(4, 3); d != 1 {
+		t.Errorf("dist(4,3) = %d, want 1", d)
+	}
+	if d := l6.Distance(4, 5); d != 1 {
+		t.Errorf("dist(4,5) = %d, want 1", d)
+	}
+	if l6.Diameter() != 5 {
+		t.Errorf("diameter = %d, want 5", l6.Diameter())
+	}
+}
+
+func TestLinearPath(t *testing.T) {
+	l6 := Linear(6)
+	path := l6.Path(1, 4)
+	want := []int{1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if p := l6.Path(3, 3); len(p) != 1 || p[0] != 3 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestNextHop(t *testing.T) {
+	l6 := Linear(6)
+	if h := l6.NextHop(0, 5); h != 1 {
+		t.Errorf("NextHop(0,5) = %d", h)
+	}
+	if h := l6.NextHop(5, 0); h != 4 {
+		t.Errorf("NextHop(5,0) = %d", h)
+	}
+	if h := l6.NextHop(2, 2); h != -1 {
+		t.Errorf("NextHop(2,2) = %d, want -1", h)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	l6 := Linear(6)
+	n0 := l6.Neighbors(0)
+	if len(n0) != 1 || n0[0] != 1 {
+		t.Errorf("Neighbors(0) = %v", n0)
+	}
+	n3 := l6.Neighbors(3)
+	if len(n3) != 2 || n3[0] != 2 || n3[1] != 4 {
+		t.Errorf("Neighbors(3) = %v", n3)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := Ring(6)
+	if r.Distance(0, 3) != 3 {
+		t.Errorf("ring dist(0,3) = %d", r.Distance(0, 3))
+	}
+	if r.Distance(0, 5) != 1 {
+		t.Errorf("ring dist(0,5) = %d", r.Distance(0, 5))
+	}
+	if r.Diameter() != 3 {
+		t.Errorf("ring diameter = %d", r.Diameter())
+	}
+}
+
+func TestRingTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(2) should panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(2, 3)
+	if g.NumTraps() != 6 {
+		t.Errorf("traps = %d", g.NumTraps())
+	}
+	// trap layout: 0 1 2 / 3 4 5
+	if g.Distance(0, 5) != 3 {
+		t.Errorf("grid dist(0,5) = %d", g.Distance(0, 5))
+	}
+	if g.Distance(0, 4) != 2 {
+		t.Errorf("grid dist(0,4) = %d", g.Distance(0, 4))
+	}
+	if len(g.Neighbors(4)) != 3 {
+		t.Errorf("grid Neighbors(4) = %v", g.Neighbors(4))
+	}
+}
+
+func TestGridBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid(0,3) should panic")
+		}
+	}()
+	Grid(0, 3)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", 0, nil); err == nil {
+		t.Error("zero traps accepted")
+	}
+	if _, err := New("bad", 3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := New("bad", 3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := New("bad", 3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := New("bad", 3, [][2]int{{0, 1}}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := New("ok", 1, nil); err != nil {
+		t.Errorf("single-trap topology rejected: %v", err)
+	}
+}
+
+// Property: Path length equals Distance+1, consecutive path entries are
+// adjacent, and distance is a metric (symmetric, triangle inequality).
+func TestQuickPathConsistency(t *testing.T) {
+	tops := []*Topology{Linear(6), Ring(8), Grid(3, 4), Linear(2)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := tops[rng.Intn(len(tops))]
+		n := tp.NumTraps()
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		if tp.Distance(a, b) != tp.Distance(b, a) {
+			return false
+		}
+		if tp.Distance(a, b) > tp.Distance(a, c)+tp.Distance(c, b) {
+			return false
+		}
+		path := tp.Path(a, b)
+		if len(path) != tp.Distance(a, b)+1 {
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			adjacent := false
+			for _, nb := range tp.Neighbors(path[i]) {
+				if nb == path[i+1] {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				return false
+			}
+		}
+		return path[0] == a && path[len(path)-1] == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NextHop strictly decreases distance to the destination.
+func TestQuickNextHopProgress(t *testing.T) {
+	tops := []*Topology{Linear(6), Ring(7), Grid(4, 4)}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := tops[rng.Intn(len(tops))]
+		n := tp.NumTraps()
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			return tp.NextHop(a, b) == -1
+		}
+		h := tp.NextHop(a, b)
+		return tp.Distance(h, b) == tp.Distance(a, b)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package muzzle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c := QFT(12)
+	cfg := LinearMachine(3, 8, 2)
+	res, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gates2Q != 12*11 {
+		t.Errorf("QFT(12) executed %d 2Q gates, want %d", res.Gates2Q, 12*11)
+	}
+	rep, err := Simulate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shuttles != res.Shuttles {
+		t.Errorf("sim shuttles %d != compile shuttles %d", rep.Shuttles, res.Shuttles)
+	}
+	if rep.Fidelity <= 0 || rep.Fidelity > 1 {
+		t.Errorf("fidelity = %g", rep.Fidelity)
+	}
+}
+
+func TestBaselineVsOptimizedFacade(t *testing.T) {
+	c := RandomCircuit(20, 150, 5)
+	cfg := LinearMachine(4, 8, 2)
+	rb, err := CompileBaseline(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Compile(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Shuttles > rb.Shuttles {
+		t.Errorf("optimized (%d) worse than baseline (%d)", ro.Shuttles, rb.Shuttles)
+	}
+}
+
+func TestQASMFacade(t *testing.T) {
+	c := NewCircuit("demo", 3)
+	c.Add1Q("h", 0)
+	c.Add2Q("cx", 0, 2)
+	var buf bytes.Buffer
+	if err := WriteQASM(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseQASM("demo", buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Gates) != 2 {
+		t.Fatalf("gates = %d", len(got.Gates))
+	}
+	d, err := Decompose(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count2Q() != 1 {
+		t.Errorf("decomposed 2Q = %d", d.Count2Q())
+	}
+}
+
+func TestMachineConstructors(t *testing.T) {
+	if PaperMachine().Capacity != 17 {
+		t.Error("PaperMachine capacity wrong")
+	}
+	if GridMachine(2, 3, 8, 2).Topology.NumTraps() != 6 {
+		t.Error("GridMachine traps wrong")
+	}
+	if RingMachine(5, 8, 2).Topology.Diameter() != 2 {
+		t.Error("RingMachine diameter wrong")
+	}
+	if len(Benchmarks()) != 5 {
+		t.Error("Benchmarks catalog wrong")
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	opt := DefaultEvalOptions()
+	opt.Config = LinearMachine(3, 8, 2)
+	r, err := Evaluate(RandomCircuit(14, 80, 11), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := FormatTableII([]*EvalResult{r}, nil)
+	if !strings.Contains(t2, "TABLE II") {
+		t.Error("TableII formatting broken")
+	}
+	if !strings.Contains(FormatFigure8([]*EvalResult{r}, nil), "FIG. 8") {
+		t.Error("Figure8 formatting broken")
+	}
+	if !strings.Contains(FormatTableIII([]*EvalResult{r}, nil), "TABLE III") {
+		t.Error("TableIII formatting broken")
+	}
+	if !strings.Contains(FormatSummary([]*EvalResult{r}, nil), "circuits=1") {
+		t.Error("Summary formatting broken")
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	res, err := Compile(RandomCircuit(10, 30, 2), LinearMachine(3, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"shuttles\"") {
+		t.Error("JSON trace missing fields")
+	}
+	buf.Reset()
+	if err := RenderTrace(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "initial:") {
+		t.Error("trace render missing")
+	}
+}
+
+func TestAblationFacade(t *testing.T) {
+	c := RandomCircuit(16, 100, 3)
+	cfg := LinearMachine(4, 6, 2)
+	variants := map[string]*Compiler{
+		"full":        NewOptimizedCompilerWithOptions(OptimizerOptions{}),
+		"no-reorder":  NewOptimizedCompilerWithOptions(OptimizerOptions{DisableReorder: true}),
+		"no-futureop": NewOptimizedCompilerWithOptions(OptimizerOptions{DisableFutureOps: true}),
+		"baseline":    NewBaselineCompiler(),
+	}
+	shuttles := map[string]int{}
+	for name, comp := range variants {
+		res, err := comp.Compile(c, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		shuttles[name] = res.Shuttles
+	}
+	if shuttles["full"] > shuttles["baseline"] {
+		t.Errorf("full (%d) worse than baseline (%d)", shuttles["full"], shuttles["baseline"])
+	}
+}
+
+func TestSampleSuccessFacade(t *testing.T) {
+	res, err := Compile(QFT(8), LinearMachine(2, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SampleSuccess(res, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean < 0 || est.Mean > 1 {
+		t.Errorf("mean = %g", est.Mean)
+	}
+	if est.Analytic <= 0 || est.Analytic > 1 {
+		t.Errorf("analytic = %g", est.Analytic)
+	}
+}
+
+func TestExactFacade(t *testing.T) {
+	c := NewCircuit("tiny", 4)
+	c.Add2Q("cx", 0, 2)
+	cfg := LinearMachine(2, 4, 1)
+	opt, err := ExactMinShuttles(c, cfg, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Errorf("exact optimum = %d, want 1", opt)
+	}
+}
+
+func TestMapperFacade(t *testing.T) {
+	c := RandomCircuit(12, 60, 4)
+	cfg := LinearMachine(3, 6, 2)
+	res, err := NewOptimizedCompiler().CompileWithMapper(c, cfg, RefinedMapper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gates2Q != 60 {
+		t.Errorf("gates = %d", res.Gates2Q)
+	}
+	var _ Placement = GreedyMapper{}
+	var _ Placement = RoundRobinMapper{}
+	var _ Placement = RandomMapper{}
+}
+
+func TestScheduleSVGFacade(t *testing.T) {
+	res, err := Compile(RandomCircuit(8, 20, 2), LinearMachine(2, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteScheduleSVG(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no SVG output")
+	}
+}
