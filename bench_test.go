@@ -10,6 +10,7 @@
 package muzzle
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -468,5 +469,51 @@ func BenchmarkAblationCooling(b *testing.B) {
 			}
 			b.ReportMetric(logF, "logFidelity/op")
 		})
+	}
+}
+
+// ---- Pipeline API benchmarks ----------------------------------------------
+
+// BenchmarkPipelineCompileQFT16 measures the Pipeline entry point on the
+// quickstart workload — the perf trajectory baseline for the public API
+// (registry lookup + context plumbing must stay in the noise next to the
+// compile itself).
+func BenchmarkPipelineCompileQFT16(b *testing.B) {
+	p, err := NewPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := QFT(16)
+	ctx := context.Background()
+	b.ResetTimer()
+	shuttles := 0
+	for i := 0; i < b.N; i++ {
+		res, err := p.Compile(ctx, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shuttles = res.Shuttles
+	}
+	b.ReportMetric(float64(shuttles), "shuttles/op")
+}
+
+// BenchmarkPipelineEvaluateRandom8 measures a full streaming evaluation run
+// (both compilers + simulation, worker pool) over the first 8 random
+// circuits.
+func BenchmarkPipelineEvaluateRandom8(b *testing.B) {
+	p, err := NewPipeline(WithRandomLimit(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := p.EvaluateRandom(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 8 {
+			b.Fatalf("got %d results", len(results))
+		}
 	}
 }

@@ -4,18 +4,22 @@
 //
 // Usage:
 //
-//	benchgen [-out DIR] [-random]
+//	benchgen [-out DIR] [-random] [-verify]
+//
+// With -verify, each emitted NISQ file is parsed back and compiled through
+// a Pipeline on the paper's machine — an end-to-end check that the files
+// round-trip and schedule.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"muzzle"
-	"muzzle/internal/bench"
-	"muzzle/internal/qasm"
 )
 
 func main() {
@@ -28,7 +32,19 @@ func main() {
 func run() error {
 	out := flag.String("out", "benchmarks", "output directory")
 	includeRandom := flag.Bool("random", false, "also emit the 120-circuit random suite")
+	verify := flag.Bool("verify", false, "parse each NISQ file back and compile it on the paper's machine")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var p *muzzle.Pipeline
+	if *verify {
+		var err error
+		if p, err = muzzle.NewPipeline(); err != nil {
+			return err
+		}
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
@@ -36,23 +52,35 @@ func run() error {
 	for _, spec := range muzzle.Benchmarks() {
 		c := spec.Build()
 		path := filepath.Join(*out, spec.Name+".qasm")
-		if err := qasm.WriteFile(path, c); err != nil {
+		if err := muzzle.WriteQASMFile(path, c); err != nil {
 			return err
 		}
 		fmt.Printf("%-40s %3d qubits %5d 2Q gates\n", path, spec.Qubits, spec.Gates2Q)
+		if p != nil {
+			parsed, err := muzzle.ParseQASMFile(path)
+			if err != nil {
+				return fmt.Errorf("verify %s: %w", path, err)
+			}
+			res, err := p.Compile(ctx, parsed)
+			if err != nil {
+				return fmt.Errorf("verify %s: %w", path, err)
+			}
+			fmt.Printf("%-40s verified: %d shuttles in %v\n", path, res.Shuttles, res.CompileTime)
+		}
 	}
 	if *includeRandom {
 		dir := filepath.Join(*out, "random")
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
-		for i, c := range bench.RandomSuite(bench.DefaultRandomSuiteParams()) {
+		suite := muzzle.RandomSuiteCircuits(muzzle.DefaultRandomSuiteParams())
+		for i, c := range suite {
 			path := filepath.Join(dir, fmt.Sprintf("random_%03d.qasm", i))
-			if err := qasm.WriteFile(path, c); err != nil {
+			if err := muzzle.WriteQASMFile(path, c); err != nil {
 				return err
 			}
 		}
-		fmt.Printf("%s: 120 random circuits written\n", dir)
+		fmt.Printf("%s: %d random circuits written\n", dir, len(suite))
 	}
 	return nil
 }

@@ -6,16 +6,24 @@
 // Usage:
 //
 //	evaltables [-random N] [-table 2|3] [-fig 8] [-progress]
+//	           [-compilers CSV] [-parallelism N] [-timeout D]
 //
 // Without -table/-fig selectors, all three artifacts are printed. -random N
 // limits the random suite to its first N circuits (0 = all 120); the full
-// suite takes a minute or two.
+// suite takes a minute or two. -compilers adds registered compilers beyond
+// the paper's pair; runs with more than two print the per-compiler shuttle
+// matrix as well. Ctrl-C (or -timeout) cancels the run cooperatively and
+// still prints the artifacts for every circuit completed so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"muzzle"
 )
@@ -33,30 +41,71 @@ func run() error {
 	fig := flag.Int("fig", 0, "print only this figure (8)")
 	progress := flag.Bool("progress", false, "print per-circuit progress")
 	noRandom := flag.Bool("norandom", false, "skip the random suite entirely")
+	compilers := flag.String("compilers", "", "comma-separated registered compiler names (default: baseline,optimized)")
+	parallelism := flag.Int("parallelism", 0, "concurrent circuit evaluations (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no timeout)")
 	flag.Parse()
 
-	opt := muzzle.DefaultEvalOptions()
-	opt.RandomLimit = *randomLimit
-	if *progress {
-		opt.Progress = os.Stderr
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	fmt.Fprintln(os.Stderr, "evaluating 5 NISQ benchmarks on L6 (capacity 17, comm 2)...")
-	nisq, err := muzzle.EvaluateNISQ(opt)
+	opts := []muzzle.PipelineOption{
+		muzzle.WithRandomLimit(*randomLimit),
+		muzzle.WithParallelism(*parallelism),
+	}
+	var names []string
+	if *compilers != "" {
+		for _, n := range strings.Split(*compilers, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		opts = append(opts, muzzle.WithCompilers(names...))
+	}
+	if *progress {
+		opts = append(opts, muzzle.WithProgress(func(ev muzzle.EvalEvent) {
+			switch ev.Kind {
+			case muzzle.EvalCompleted:
+				d, pct := ev.Result.Reduction()
+				fmt.Fprintf(os.Stderr, "[%3d/%3d] %-28s -%d shuttles (%.2f%%)\n",
+					ev.Index+1, ev.Total, ev.Circuit, d, pct)
+			case muzzle.EvalFailed:
+				fmt.Fprintf(os.Stderr, "[%3d/%3d] %-28s ERROR: %v\n",
+					ev.Index+1, ev.Total, ev.Circuit, ev.Err)
+			}
+		}))
+	}
+	p, err := muzzle.NewPipeline(opts...)
 	if err != nil {
 		return err
 	}
+
+	fmt.Fprintf(os.Stderr, "evaluating 5 NISQ benchmarks on L6 (capacity 17, comm 2), compilers %v...\n",
+		p.Compilers())
+	nisq, err := p.EvaluateNISQ(ctx)
+	if err != nil && !canceled(err) {
+		return err
+	}
 	var random []*muzzle.EvalResult
-	if !*noRandom {
+	if !*noRandom && ctx.Err() == nil {
 		n := *randomLimit
 		if n == 0 {
-			n = 120
+			n = len(p.RandomCircuits())
 		}
 		fmt.Fprintf(os.Stderr, "evaluating %d random circuits...\n", n)
-		random, err = muzzle.EvaluateRandom(opt)
-		if err != nil {
+		random, err = p.EvaluateRandom(ctx)
+		if err != nil && !canceled(err) {
 			return err
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "run canceled; printing artifacts for %d completed circuits\n",
+			len(nisq)+len(random))
 	}
 
 	all := *table == 0 && *fig == 0
@@ -69,6 +118,15 @@ func run() error {
 	if all || *table == 3 {
 		fmt.Println(muzzle.FormatTableIII(nisq, random))
 	}
+	if all && len(p.Compilers()) > 2 && len(nisq) > 0 {
+		fmt.Println(muzzle.FormatCompilerMatrix(nisq))
+	}
 	fmt.Println(muzzle.FormatSummary(nisq, random))
 	return nil
+}
+
+// canceled reports whether err is (or joins) a context cancellation; the
+// command treats that as "print what we have", not a failure.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,7 +1,6 @@
 // Command muzzle compiles an OpenQASM 2.0 circuit for a multi-trap
-// trapped-ion machine and reports shuttle statistics, optionally comparing
-// the paper's optimized compiler against the QCCDSim-style baseline and
-// exporting the schedule.
+// trapped-ion machine and reports shuttle statistics, comparing any set of
+// registered compilers and optionally exporting the schedule.
 //
 // Usage:
 //
@@ -12,17 +11,33 @@
 //	-traps N        number of traps in the linear topology (default 6)
 //	-capacity N     total trap capacity (default 17)
 //	-comm N         communication capacity (default 2)
-//	-compiler NAME  "optimized" (default), "baseline", or "both"
+//	-compilers CSV  comma-separated registry names (default "optimized";
+//	                "baseline,optimized" compares the paper's pair)
 //	-proximity N    future-ops proximity window (default 6; -1 unbounded)
-//	-json FILE      write the optimized schedule as JSON
+//	-parallelism N  concurrent compilations across -compilers (0 = one
+//	                per CPU); note Table III-style compile times are
+//	                noisier when compilers share cores
+//	-timeout D      abort the whole run after D (e.g. 30s, 2m)
+//	-json FILE      write the last listed compiler's schedule as JSON
+//	-svg FILE       write its trap x time Gantt chart SVG
 //	-render         print trap-occupancy snapshots
 //	-sim            simulate and print duration/fidelity
+//
+// The command is built on muzzle.Pipeline: compilers resolve from the
+// process-wide registry, and -timeout cancels the run cooperatively via
+// context.WithTimeout down to the compiler scheduling loop.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"muzzle"
@@ -39,8 +54,11 @@ func run() error {
 	traps := flag.Int("traps", 6, "number of traps in the linear topology")
 	capacity := flag.Int("capacity", 17, "total trap capacity")
 	comm := flag.Int("comm", 2, "communication capacity")
-	which := flag.String("compiler", "optimized", `compiler: "optimized", "baseline", or "both"`)
+	compilers := flag.String("compilers", "optimized",
+		`comma-separated registered compiler names (e.g. "baseline,optimized")`)
 	proximity := flag.Int("proximity", 0, "future-ops proximity window (0 = paper default 6, -1 = unbounded)")
+	parallelism := flag.Int("parallelism", 0, "concurrent compilations across -compilers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no timeout)")
 	jsonPath := flag.String("json", "", "write the compiled schedule as JSON to this file")
 	svgPath := flag.String("svg", "", "write a trap x time Gantt chart SVG to this file")
 	render := flag.Bool("render", false, "print trap-occupancy snapshots")
@@ -50,60 +68,108 @@ func run() error {
 	if flag.NArg() != 1 {
 		return fmt.Errorf("expected exactly one QASM file, got %d args", flag.NArg())
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	names := splitNames(*compilers)
+	if len(names) == 0 {
+		return fmt.Errorf("-compilers must name at least one registered compiler")
+	}
+	// A non-default proximity is a compiler variant: register it once and
+	// substitute it for "optimized" in the run.
+	if *proximity != 0 {
+		variant := fmt.Sprintf("optimized-prox%d", *proximity)
+		if !muzzle.HasCompiler(variant) {
+			prox := *proximity
+			if err := muzzle.RegisterCompiler(variant, func() *muzzle.Compiler {
+				return muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{Proximity: prox})
+			}); err != nil {
+				return err
+			}
+		}
+		for i, n := range names {
+			if n == muzzle.CompilerOptimized {
+				names[i] = variant
+			}
+		}
+	}
+
 	c, err := muzzle.ParseQASMFile(flag.Arg(0))
 	if err != nil {
 		return err
 	}
-	cfg := muzzle.LinearMachine(*traps, *capacity, *comm)
-	fmt.Printf("circuit %s: %d qubits, %d gates (%d two-qubit)\n",
-		c.Name, c.NumQubits, len(c.Gates), c.Count2Q())
-
-	report := func(label string, comp *muzzle.Compiler) (*muzzle.CompileResult, error) {
-		res, err := comp.Compile(c, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", label, err)
-		}
-		fmt.Printf("%-10s shuttles=%d swaps=%d reorders=%d rebalances=%d compile=%v (direction=%s)\n",
-			label, res.Shuttles, res.Swaps, res.Reorders, res.Rebalances,
-			res.CompileTime.Round(time.Microsecond), res.DirectionPolicy)
-		if *simulate {
-			rep, err := muzzle.Simulate(res)
-			if err != nil {
-				return nil, err
-			}
-			fmt.Printf("%-10s duration=%.1fus logFidelity=%.4f fidelity=%.3g maxChainN=%.2f\n",
-				label, rep.Duration, rep.LogFidelity, rep.Fidelity, rep.MaxChainN)
-		}
-		return res, nil
-	}
-
-	var opt *muzzle.CompileResult
-	switch *which {
-	case "optimized":
-		opt, err = report("optimized", muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{Proximity: *proximity}))
-	case "baseline":
-		opt, err = report("baseline", muzzle.NewBaselineCompiler())
-	case "both":
-		var base *muzzle.CompileResult
-		base, err = report("baseline", muzzle.NewBaselineCompiler())
-		if err != nil {
-			return err
-		}
-		opt, err = report("optimized", muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{Proximity: *proximity}))
-		if err == nil && base.Shuttles > 0 {
-			fmt.Printf("reduction: %d shuttles (%.2f%%)\n",
-				base.Shuttles-opt.Shuttles,
-				100*float64(base.Shuttles-opt.Shuttles)/float64(base.Shuttles))
-		}
-	default:
-		return fmt.Errorf("unknown -compiler %q", *which)
-	}
+	p, err := muzzle.NewPipeline(
+		muzzle.WithMachine(muzzle.LinearMachine(*traps, *capacity, *comm)),
+		muzzle.WithCompilers(names...),
+		muzzle.WithParallelism(*parallelism),
+	)
 	if err != nil {
 		return err
 	}
 
+	fmt.Printf("circuit %s: %d qubits, %d gates (%d two-qubit)\n",
+		c.Name, c.NumQubits, len(c.Gates), c.Count2Q())
+
+	// Compile with every requested compiler, bounded by -parallelism, and
+	// report in the listed order.
+	par := *parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	results := make([]*muzzle.CompileResult, len(names))
+	compileErrs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], compileErrs[i] = p.CompileWith(ctx, name, c)
+		}(i, name)
+	}
+	wg.Wait()
+
+	var first, last *muzzle.CompileResult
+	for i, name := range names {
+		res, err := results[i], compileErrs[i]
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("%s: timed out after %v: %w", name, *timeout, err)
+			}
+			return err
+		}
+		fmt.Printf("%-16s shuttles=%d swaps=%d reorders=%d rebalances=%d compile=%v (direction=%s)\n",
+			name, res.Shuttles, res.Swaps, res.Reorders, res.Rebalances,
+			res.CompileTime.Round(time.Microsecond), res.DirectionPolicy)
+		if *simulate {
+			rep, err := p.Simulate(ctx, res)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s duration=%.1fus logFidelity=%.4f fidelity=%.3g maxChainN=%.2f\n",
+				name, rep.Duration, rep.LogFidelity, rep.Fidelity, rep.MaxChainN)
+		}
+		if first == nil {
+			first = res
+		}
+		last = res
+	}
+	if len(names) > 1 && first.Shuttles > 0 {
+		fmt.Printf("reduction vs %s: %d shuttles (%.2f%%)\n", names[0],
+			first.Shuttles-last.Shuttles,
+			100*float64(first.Shuttles-last.Shuttles)/float64(first.Shuttles))
+	}
+
 	if *render {
-		if err := muzzle.RenderTrace(os.Stdout, opt); err != nil {
+		if err := muzzle.RenderTrace(os.Stdout, last); err != nil {
 			return err
 		}
 	}
@@ -113,7 +179,7 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		if err := muzzle.WriteTraceJSON(f, opt); err != nil {
+		if err := muzzle.WriteTraceJSON(f, last); err != nil {
 			return err
 		}
 		fmt.Printf("schedule written to %s\n", *jsonPath)
@@ -124,10 +190,20 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		if err := muzzle.WriteScheduleSVG(f, opt); err != nil {
+		if err := muzzle.WriteScheduleSVG(f, last); err != nil {
 			return err
 		}
 		fmt.Printf("timeline written to %s\n", *svgPath)
 	}
 	return nil
+}
+
+func splitNames(csv string) []string {
+	var names []string
+	for _, n := range strings.Split(csv, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
 }

@@ -1,0 +1,77 @@
+package muzzle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrorCode classifies a public-API failure so callers can branch without
+// string matching.
+type ErrorCode string
+
+// Error codes returned at the public boundary.
+const (
+	// ErrBadOption marks an invalid Pipeline option value.
+	ErrBadOption ErrorCode = "bad_option"
+	// ErrUnknownCompiler marks a compiler name absent from the registry.
+	ErrUnknownCompiler ErrorCode = "unknown_compiler"
+	// ErrDuplicateCompiler marks a registration under a taken name.
+	ErrDuplicateCompiler ErrorCode = "duplicate_compiler"
+	// ErrCompile marks a compilation failure.
+	ErrCompile ErrorCode = "compile"
+	// ErrSimulate marks a simulator failure.
+	ErrSimulate ErrorCode = "simulate"
+	// ErrEvaluate marks an evaluation-run failure (possibly partial: the
+	// run's successful results are still returned alongside it).
+	ErrEvaluate ErrorCode = "evaluate"
+	// ErrCanceled marks a run aborted by context cancellation or timeout;
+	// errors.Is(err, context.Canceled) (or DeadlineExceeded) also holds.
+	ErrCanceled ErrorCode = "canceled"
+)
+
+// Error is the structured error type of the public API: a stable code, the
+// operation that failed, and the wrapped cause. It replaces the ad-hoc
+// fmt.Errorf strings the free functions used to return.
+type Error struct {
+	// Code classifies the failure.
+	Code ErrorCode
+	// Op is the public entry point that failed, e.g. "Pipeline.Evaluate".
+	Op string
+	// Err is the underlying cause; errors.Is/As traverse it.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("muzzle: %s: %s", e.Op, e.Code)
+	}
+	return fmt.Sprintf("muzzle: %s [%s]: %v", e.Op, e.Code, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// newError builds a structured public-boundary error.
+func newError(code ErrorCode, op string, err error) *Error {
+	return &Error{Code: code, Op: op, Err: err}
+}
+
+// newErrorf builds a structured error from a formatted cause.
+func newErrorf(code ErrorCode, op, format string, args ...any) *Error {
+	return &Error{Code: code, Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+// wrapErr wraps an internal error for the public boundary under op,
+// upgrading the code to ErrCanceled when the cause chain contains a
+// context error so callers can tell aborts from genuine failures.
+func wrapErr(code ErrorCode, op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = ErrCanceled
+	}
+	return &Error{Code: code, Op: op, Err: err}
+}

@@ -1,13 +1,15 @@
 // Fidelity study: demonstrate the paper's Section IV-C mechanism — shuttle
 // operations heat ion chains (raise the motional mode n̄), and hot chains
-// degrade every subsequent gate. The example compiles one workload with the
-// three optimizations toggled individually (an ablation) and reports
-// shuttles, peak chain energy, and program fidelity for each variant.
+// degrade every subsequent gate. The example registers each ablation
+// variant (the three optimizations toggled individually) as a named
+// compiler and runs all five through ONE Pipeline.EvaluateCircuit call —
+// the N-compiler comparison the registry makes possible.
 //
 //	go run ./examples/fidelity_study
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -16,48 +18,64 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
+	// Register the ablation variants next to the pre-registered pair. A
+	// registered name participates in any evaluation run from here on.
+	variants := []struct {
+		name string
+		opts muzzle.OptimizerOptions
+	}{
+		{"future-ops-only", muzzle.OptimizerOptions{DisableReorder: true, DisableNNRebalance: true}},
+		{"reorder-only", muzzle.OptimizerOptions{DisableFutureOps: true, DisableNNRebalance: true}},
+		{"nn-rebalance-only", muzzle.OptimizerOptions{DisableFutureOps: true, DisableReorder: true}},
+	}
+	for _, v := range variants {
+		opts := v.opts
+		muzzle.MustRegisterCompiler(v.name, func() *muzzle.Compiler {
+			return muzzle.NewOptimizedCompilerWithOptions(opts)
+		})
+	}
+	order := []string{
+		muzzle.CompilerBaseline,
+		"future-ops-only",
+		"reorder-only",
+		"nn-rebalance-only",
+		muzzle.CompilerOptimized,
+	}
+
+	pipeline, err := muzzle.NewPipeline(
+		muzzle.WithMachine(muzzle.PaperMachine()),
+		muzzle.WithCompilers(order...),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	workload := muzzle.RandomCircuit(70, 1400, 7)
-	machine := muzzle.PaperMachine()
 	fmt.Printf("workload: %d qubits, %d two-qubit gates on L6\n\n",
 		workload.NumQubits, workload.Count2Q())
 
-	variants := []struct {
-		name string
-		comp *muzzle.Compiler
-	}{
-		{"baseline (ISCA'20)", muzzle.NewBaselineCompiler()},
-		{"+ future-ops only", muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{
-			DisableReorder: true, DisableNNRebalance: true})},
-		{"+ reorder only", muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{
-			DisableFutureOps: true, DisableNNRebalance: true})},
-		{"+ NN rebalance only", muzzle.NewOptimizedCompilerWithOptions(muzzle.OptimizerOptions{
-			DisableFutureOps: true, DisableReorder: true})},
-		{"full optimized", muzzle.NewOptimizedCompiler()},
+	result, err := pipeline.EvaluateCircuit(ctx, workload)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("%-22s %9s %10s %12s %14s\n",
 		"compiler", "shuttles", "max n̄", "logFidelity", "duration (ms)")
 	var baseLog float64
-	for i, v := range variants {
-		res, err := v.comp.Compile(workload, machine)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := muzzle.Simulate(res)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, name := range order {
+		o := result.Outcome(name)
 		if i == 0 {
-			baseLog = rep.LogFidelity
+			baseLog = o.Sim.LogFidelity
 		}
 		fmt.Printf("%-22s %9d %10.2f %12.3f %14.1f\n",
-			v.name, res.Shuttles, rep.MaxChainN, rep.LogFidelity, rep.Duration/1000)
-		if i == len(variants)-1 {
-			imp := rep.LogFidelity - baseLog
-			fmt.Printf("\nfull-optimized fidelity improvement over baseline: exp(%.3f) = %.2fX\n",
-				imp, math.Exp(imp))
-		}
+			name, o.Result.Shuttles, o.Sim.MaxChainN, o.Sim.LogFidelity, o.Sim.Duration/1000)
 	}
+	full := result.Outcome(muzzle.CompilerOptimized)
+	imp := full.Sim.LogFidelity - baseLog
+	fmt.Printf("\nfull-optimized fidelity improvement over baseline: exp(%.3f) = %.2fX\n",
+		imp, math.Exp(imp))
 	fmt.Println("\nFewer shuttles -> fewer SPLIT/MOVE/MERGE heating events -> cooler")
 	fmt.Println("chains -> higher per-gate fidelity (F = 1 - Γτ - A(2n̄+1)).")
 }

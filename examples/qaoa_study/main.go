@@ -2,15 +2,19 @@
 // shuttle counts and the optimized compiler's advantage scale. QAOA is the
 // paper's highest-shuttle benchmark and shows its largest fidelity gain
 // (22.68X, Fig. 8); this example shows *why* — the shuttle-to-gate ratio
-// grows with graph density.
+// grows with graph density. The sweep streams through
+// Pipeline.EvaluateStream, so rows print as circuits finish rather than
+// after the whole batch.
 //
 //	go run ./examples/qaoa_study
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
 	"muzzle"
 )
@@ -45,21 +49,42 @@ func qaoaCircuit(vertices, edges int, seed int64) *muzzle.Circuit {
 }
 
 func main() {
-	machine := muzzle.PaperMachine()
+	ctx := context.Background()
+	pipeline, err := muzzle.NewPipeline(muzzle.WithMachine(muzzle.PaperMachine()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	edgeCounts := []int{100, 200, 400, 630, 900}
+	circuits := make([]*muzzle.Circuit, len(edgeCounts))
+	for i, edges := range edgeCounts {
+		circuits[i] = qaoaCircuit(64, edges, 42)
+	}
+
 	fmt.Println("QAOA graph-density sweep on L6 (capacity 17, comm 2)")
 	fmt.Printf("%8s %8s %10s %10s %8s %12s\n",
 		"edges", "2Qgates", "baseline", "optimized", "red%", "fidelity X")
-	for _, edges := range []int{100, 200, 400, 630, 900} {
-		c := qaoaCircuit(64, edges, 42)
-		opt := muzzle.DefaultEvalOptions()
-		opt.Config = machine
-		r, err := muzzle.Evaluate(c, opt)
-		if err != nil {
-			log.Fatal(err)
+
+	// Stream results as circuits complete; collect them to print in sweep
+	// order at the end.
+	type row struct {
+		idx    int
+		result *muzzle.EvalResult
+	}
+	var rows []row
+	for item := range pipeline.EvaluateStream(ctx, circuits) {
+		if item.Err != nil {
+			log.Fatal(item.Err)
 		}
-		_, pct := r.Reduction()
+		rows = append(rows, row{item.Index, item.Result})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].idx < rows[j].idx })
+	for _, r := range rows {
+		base, opt := r.result.Pair()
+		_, pct := r.result.Reduction()
 		fmt.Printf("%8d %8d %10d %10d %7.1f%% %11.2fX\n",
-			edges, r.Gates2Q, r.Baseline.Shuttles, r.Optimized.Shuttles, pct, r.Improvement())
+			edgeCounts[r.idx], r.result.Gates2Q, base.Result.Shuttles, opt.Result.Shuttles,
+			pct, r.result.Improvement())
 	}
 	fmt.Println("\nDenser graphs need more inter-trap communication; the")
 	fmt.Println("future-ops policy pays off most when each move can satisfy")

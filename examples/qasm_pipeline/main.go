@@ -1,20 +1,27 @@
 // QASM pipeline: a complete tool-chain walk — generate a circuit, write it
-// as OpenQASM 2.0, parse it back, compile it for the paper's machine, and
-// export the schedule as JSON and as an SVG timeline.
+// as OpenQASM 2.0, parse it back, compile it through a Pipeline with a
+// deadline, and export the schedule as JSON and as an SVG timeline.
 //
 //	go run ./examples/qasm_pipeline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"muzzle"
 )
 
 func main() {
+	// Every Pipeline call is context-aware; a deadline bounds the whole
+	// walk (compilation aborts cooperatively if it ever blows the budget).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	dir, err := os.MkdirTemp("", "muzzle-pipeline")
 	if err != nil {
 		log.Fatal(err)
@@ -41,8 +48,13 @@ func main() {
 	fmt.Printf("parsed %q: %d qubits, %d gates (%d two-qubit)\n",
 		parsed.Name, parsed.NumQubits, len(parsed.Gates), parsed.Count2Q())
 
-	// 3. Compile with the paper's optimized compiler.
-	res, err := muzzle.Compile(parsed, muzzle.PaperMachine())
+	// 3. Compile with the paper's optimized compiler (the pipeline's
+	// primary) on the paper's machine.
+	pipeline, err := muzzle.NewPipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipeline.Compile(ctx, parsed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +89,7 @@ func main() {
 	}
 
 	// 5. Simulate for the physics verdict.
-	rep, err := muzzle.Simulate(res)
+	rep, err := pipeline.Simulate(ctx, res)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
-// Quickstart: build a circuit, compile it for the paper's 6-trap machine
-// with both compilers, and compare shuttle counts and program fidelity.
+// Quickstart: build a circuit, evaluate it on the paper's 6-trap machine
+// with both compilers through the Pipeline API, and compare shuttle counts
+// and program fidelity.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,38 +14,34 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 16-qubit QFT — all-to-all connectivity, the pattern the paper
-	// discusses in Section IV-B.
+	// discusses in Section IV-B. NewPipeline() with no options is the
+	// paper's setup: the L6 machine and the baseline/optimized pair.
 	circuit := muzzle.QFT(16)
-	machine := muzzle.PaperMachine() // L6: 6 traps, capacity 17, comm 2
+	pipeline, err := muzzle.NewPipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("circuit: %s (%d qubits, %d two-qubit gates)\n\n",
 		circuit.Name, circuit.NumQubits, circuit.Count2Q())
 
-	baseline, err := muzzle.CompileBaseline(circuit, machine)
+	// One Evaluate call compiles with every configured compiler and
+	// simulates each trace.
+	result, err := pipeline.EvaluateCircuit(ctx, circuit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	optimized, err := muzzle.Compile(circuit, machine)
-	if err != nil {
-		log.Fatal(err)
+	base, opt := result.Pair()
+
+	fmt.Printf("baseline  (ISCA'20 policies): %4d shuttles\n", base.Result.Shuttles)
+	fmt.Printf("optimized (this paper):       %4d shuttles\n", opt.Result.Shuttles)
+	if delta, pct := result.Reduction(); base.Result.Shuttles > 0 {
+		fmt.Printf("reduction: %d shuttles (%.1f%%)\n\n", delta, pct)
 	}
 
-	fmt.Printf("baseline  (ISCA'20 policies): %4d shuttles\n", baseline.Shuttles)
-	fmt.Printf("optimized (this paper):       %4d shuttles\n", optimized.Shuttles)
-	if baseline.Shuttles > 0 {
-		fmt.Printf("reduction: %.1f%%\n\n",
-			100*float64(baseline.Shuttles-optimized.Shuttles)/float64(baseline.Shuttles))
-	}
-
-	repB, err := muzzle.Simulate(baseline)
-	if err != nil {
-		log.Fatal(err)
-	}
-	repO, err := muzzle.Simulate(optimized)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("baseline  fidelity %.4f in %.1f ms\n", repB.Fidelity, repB.Duration/1000)
-	fmt.Printf("optimized fidelity %.4f in %.1f ms\n", repO.Fidelity, repO.Duration/1000)
+	fmt.Printf("baseline  fidelity %.4f in %.1f ms\n", base.Sim.Fidelity, base.Sim.Duration/1000)
+	fmt.Printf("optimized fidelity %.4f in %.1f ms\n", opt.Sim.Fidelity, opt.Sim.Duration/1000)
 }

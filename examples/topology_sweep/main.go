@@ -2,12 +2,15 @@
 // trap topologies and compare shuttle counts. The paper evaluates on the
 // linear L6 model (Section IV-A) and notes richer topologies as the setting
 // where nearest-neighbor-first re-balancing matters most (Fig. 7 is a
-// traffic-block scenario specific to constrained paths).
+// traffic-block scenario specific to constrained paths). Each topology gets
+// its own Pipeline — the machine is pipeline state, the compilers resolve
+// from the shared registry.
 //
 //	go run ./examples/topology_sweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	workload := muzzle.RandomCircuit(64, 1200, 20220101)
 	fmt.Printf("workload: %d qubits, %d two-qubit gates\n\n",
 		workload.NumQubits, workload.Count2Q())
@@ -31,17 +35,18 @@ func main() {
 
 	fmt.Printf("%-18s %9s %10s %8s %9s\n", "topology", "baseline", "optimized", "red%", "diameter")
 	for _, tc := range configs {
-		base, err := muzzle.CompileBaseline(workload, tc.cfg)
+		pipeline, err := muzzle.NewPipeline(muzzle.WithMachine(tc.cfg))
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := muzzle.Compile(workload, tc.cfg)
+		r, err := pipeline.EvaluateCircuit(ctx, workload)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pct := 100 * float64(base.Shuttles-opt.Shuttles) / float64(base.Shuttles)
+		base, opt := r.Pair()
+		_, pct := r.Reduction()
 		fmt.Printf("%-18s %9d %10d %7.1f%% %9d\n",
-			tc.name, base.Shuttles, opt.Shuttles, pct, tc.cfg.Topology.Diameter())
+			tc.name, base.Result.Shuttles, opt.Result.Shuttles, pct, tc.cfg.Topology.Diameter())
 	}
 	fmt.Println("\nSmaller diameters shorten re-balancing detours; the optimized")
 	fmt.Println("compiler's nearest-neighbor eviction exploits them directly.")

@@ -1,0 +1,3 @@
+module muzzle
+
+go 1.24

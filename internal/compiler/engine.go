@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,6 +93,12 @@ func (c *Compiler) maxRebalanceDepth() int {
 // Compile decomposes circ to the native gate set, computes a greedy initial
 // placement, and schedules the program.
 func (c *Compiler) Compile(circ *circuit.Circuit, cfg machine.Config) (*Result, error) {
+	return c.CompileContext(context.Background(), circ, cfg)
+}
+
+// CompileContext is Compile with cooperative cancellation: the scheduling
+// loop checks ctx once per gate and aborts with ctx.Err() when it fires.
+func (c *Compiler) CompileContext(ctx context.Context, circ *circuit.Circuit, cfg machine.Config) (*Result, error) {
 	native, err := circuit.Decompose(circ)
 	if err != nil {
 		return nil, err
@@ -100,12 +107,17 @@ func (c *Compiler) Compile(circ *circuit.Circuit, cfg machine.Config) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return c.CompileMapped(native, cfg, placement)
+	return c.CompileMappedContext(ctx, native, cfg, placement)
 }
 
 // CompileMapped schedules an already-native circuit from an explicit initial
 // placement. placement[t] lists the ions (== qubit ids) initially in trap t.
 func (c *Compiler) CompileMapped(native *circuit.Circuit, cfg machine.Config, placement [][]int) (*Result, error) {
+	return c.CompileMappedContext(context.Background(), native, cfg, placement)
+}
+
+// CompileMappedContext is CompileMapped with cooperative cancellation.
+func (c *Compiler) CompileMappedContext(ctx context.Context, native *circuit.Circuit, cfg machine.Config, placement [][]int) (*Result, error) {
 	start := time.Now()
 	if c.Direction == nil || c.Rebalancer == nil {
 		return nil, fmt.Errorf("compiler: Direction and Rebalancer policies are mandatory")
@@ -127,9 +139,10 @@ func (c *Compiler) CompileMapped(native *circuit.Circuit, cfg machine.Config, pl
 	}
 
 	e := &engine{
-		c:   c,
-		st:  st,
-		ctx: &Context{State: st, Graph: dag.Build(native), Circ: native, Executed: make([]bool, len(native.Gates))},
+		c:      c,
+		st:     st,
+		cancel: ctx,
+		ctx:    &Context{State: st, Graph: dag.Build(native), Circ: native, Executed: make([]bool, len(native.Gates))},
 	}
 	res := &Result{
 		Circ:             native,
@@ -160,10 +173,11 @@ func (c *Compiler) CompileMapped(native *circuit.Circuit, cfg machine.Config, pl
 
 // engine carries the mutable compilation loop state.
 type engine struct {
-	c   *Compiler
-	st  *machine.State
-	ctx *Context
-	res *Result
+	c      *Compiler
+	st     *machine.State
+	cancel context.Context
+	ctx    *Context
+	res    *Result
 }
 
 func (e *engine) run(res *Result) error {
@@ -176,6 +190,9 @@ func (e *engine) run(res *Result) error {
 	cursor := 0
 	reorderChain := 0
 	for cursor < n {
+		if err := e.cancel.Err(); err != nil {
+			return fmt.Errorf("compiler: canceled at gate %d/%d: %w", cursor, n, err)
+		}
 		active := order[cursor]
 		g := e.ctx.Circ.Gates[active]
 		switch g.Kind() {

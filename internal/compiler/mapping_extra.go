@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -234,6 +235,12 @@ func CutWeight(c *circuit.Circuit, cfg machine.Config, placement [][]int) int {
 // CompileWithMapper runs the compiler using an explicit placement policy
 // instead of the default greedy mapping.
 func (c *Compiler) CompileWithMapper(circ *circuit.Circuit, cfg machine.Config, mapper Placement) (*Result, error) {
+	return c.CompileWithMapperContext(context.Background(), circ, cfg, mapper)
+}
+
+// CompileWithMapperContext is CompileWithMapper with cooperative
+// cancellation.
+func (c *Compiler) CompileWithMapperContext(ctx context.Context, circ *circuit.Circuit, cfg machine.Config, mapper Placement) (*Result, error) {
 	native, err := circuit.Decompose(circ)
 	if err != nil {
 		return nil, err
@@ -242,5 +249,5 @@ func (c *Compiler) CompileWithMapper(circ *circuit.Circuit, cfg machine.Config, 
 	if err != nil {
 		return nil, err
 	}
-	return c.CompileMapped(native, cfg, placement)
+	return c.CompileMappedContext(ctx, native, cfg, placement)
 }

@@ -1,26 +1,35 @@
-// Package eval is the experiment harness: it runs the baseline and
-// optimized compilers over the paper's benchmark suite and regenerates the
-// evaluation artifacts — Table II (shuttle reduction), Fig. 8 (program
-// fidelity improvement), and Table III (compilation time overhead).
+// Package eval is the experiment harness: it runs a set of registered
+// compilers over the paper's benchmark suite and regenerates the evaluation
+// artifacts — Table II (shuttle reduction), Fig. 8 (program fidelity
+// improvement), and Table III (compilation time overhead).
+//
+// Compilers are resolved by name from internal/registry, so any compiler
+// registered there — the pre-registered "baseline" and "optimized" pair or
+// user-supplied variants — participates in a run without changes here. Runs
+// are context-aware (cooperative cancellation down to the compiler
+// scheduling loop) and stream per-circuit results as they complete; the
+// slice-returning entry points are built on the stream and report partial
+// results alongside an errors.Join of every failure.
 //
 // The harness prints the same rows the paper reports; EXPERIMENTS.md pairs
 // each with the paper's numbers.
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 	"sync"
 
-	"muzzle/internal/baseline"
 	"muzzle/internal/bench"
 	"muzzle/internal/circuit"
 	"muzzle/internal/compiler"
-	"muzzle/internal/core"
 	"muzzle/internal/fidelity"
 	"muzzle/internal/machine"
+	"muzzle/internal/registry"
 	"muzzle/internal/sim"
 )
 
@@ -37,8 +46,17 @@ type Options struct {
 	RandomLimit int
 	// Parallelism bounds concurrent circuit evaluations (0 = GOMAXPROCS).
 	Parallelism int
+	// Compilers lists the registry names to run on every circuit, in
+	// column order; nil means the paper's pair {"baseline", "optimized"}.
+	Compilers []string
+	// Mapper, when non-nil, replaces the default greedy initial mapping.
+	Mapper compiler.Placement
 	// Progress, when non-nil, receives one line per completed circuit.
 	Progress io.Writer
+	// OnEvent, when non-nil, receives typed progress events (start,
+	// completion, failure of each circuit). It is called from worker
+	// goroutines but never concurrently with itself.
+	OnEvent func(Event)
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -50,121 +68,301 @@ func DefaultOptions() Options {
 	}
 }
 
-// BenchResult holds both compilers' outcomes on one circuit.
+// DefaultCompilers is the compiler pair of the paper's evaluation, in the
+// order the tables print them.
+func DefaultCompilers() []string { return []string{registry.Baseline, registry.Optimized} }
+
+func (o Options) compilerNames() []string {
+	if len(o.Compilers) == 0 {
+		return DefaultCompilers()
+	}
+	return o.Compilers
+}
+
+// Outcome is one compiler's result on one circuit.
+type Outcome struct {
+	// Compiler is the registry name the outcome belongs to.
+	Compiler string
+	// Result is the compilation result.
+	Result *compiler.Result
+	// Sim is the simulator report for the compiled trace.
+	Sim *sim.Report
+}
+
+// BenchResult holds every configured compiler's outcome on one circuit.
 type BenchResult struct {
 	// Name is the circuit name.
 	Name string
 	// Qubits and Gates2Q describe the circuit (2Q count after
 	// decomposition to the native set).
 	Qubits, Gates2Q int
-	// Baseline and Optimized are the compilation results.
-	Baseline, Optimized *compiler.Result
-	// BaselineSim and OptimizedSim are the simulator reports.
-	BaselineSim, OptimizedSim *sim.Report
+	// Compilers lists the registry names evaluated, in run order.
+	Compilers []string
+	// Outcomes maps each compiler name to its outcome.
+	Outcomes map[string]*Outcome
 }
 
-// Reduction returns the absolute and percentage shuttle reduction.
+// Outcome returns the named compiler's outcome, or nil if the compiler was
+// not part of the run.
+func (r *BenchResult) Outcome(name string) *Outcome { return r.Outcomes[name] }
+
+// Pair returns the reference (baseline, optimized) outcome pair the paper's
+// artifacts compare: the registered names "baseline" and "optimized" when
+// both ran, otherwise the first two compilers in run order (or the same
+// outcome twice when only one compiler ran).
+func (r *BenchResult) Pair() (base, opt *Outcome) {
+	if b, o := r.Outcomes[registry.Baseline], r.Outcomes[registry.Optimized]; b != nil && o != nil {
+		return b, o
+	}
+	if len(r.Compilers) == 0 {
+		return nil, nil
+	}
+	base = r.Outcomes[r.Compilers[0]]
+	opt = base
+	if len(r.Compilers) > 1 {
+		opt = r.Outcomes[r.Compilers[1]]
+	}
+	return base, opt
+}
+
+// Reduction returns the absolute and percentage shuttle reduction of the
+// reference pair.
 func (r *BenchResult) Reduction() (delta int, pct float64) {
-	delta = r.Baseline.Shuttles - r.Optimized.Shuttles
-	if r.Baseline.Shuttles > 0 {
-		pct = 100 * float64(delta) / float64(r.Baseline.Shuttles)
+	base, opt := r.Pair()
+	if base == nil || opt == nil {
+		return 0, 0
+	}
+	delta = base.Result.Shuttles - opt.Result.Shuttles
+	if base.Result.Shuttles > 0 {
+		pct = 100 * float64(delta) / float64(base.Result.Shuttles)
 	}
 	return delta, pct
 }
 
-// Improvement returns the program-fidelity improvement factor (Fig. 8's X).
+// Improvement returns the program-fidelity improvement factor (Fig. 8's X)
+// of the reference pair.
 func (r *BenchResult) Improvement() float64 {
-	return fidelity.Improvement(r.OptimizedSim.LogFidelity, r.BaselineSim.LogFidelity)
+	base, opt := r.Pair()
+	if base == nil || opt == nil {
+		return 1
+	}
+	return fidelity.Improvement(opt.Sim.LogFidelity, base.Sim.LogFidelity)
 }
 
-// RunCircuit evaluates one circuit under both compilers and the simulator.
-// The input circuit is not modified.
-func RunCircuit(c *circuit.Circuit, opt Options) (*BenchResult, error) {
-	resB, err := baseline.New().Compile(c, opt.Config)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s: baseline: %w", c.Name, err)
+// RunCircuit evaluates one circuit under every configured compiler and the
+// simulator. The input circuit is not modified.
+func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchResult, error) {
+	names := opt.compilerNames()
+	r := &BenchResult{
+		Name:      c.Name,
+		Qubits:    c.NumQubits,
+		Gates2Q:   bench.Count2QNative(c),
+		Compilers: names,
+		Outcomes:  make(map[string]*Outcome, len(names)),
 	}
-	resO, err := core.New().Compile(c, opt.Config)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s: optimized: %w", c.Name, err)
+	for _, name := range names {
+		factory, err := registry.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("eval %s: %w", c.Name, err)
+		}
+		comp := factory()
+		var res *compiler.Result
+		if opt.Mapper != nil {
+			res, err = comp.CompileWithMapperContext(ctx, c, opt.Config, opt.Mapper)
+		} else {
+			res, err = comp.CompileContext(ctx, c, opt.Config)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eval %s: %s: %w", c.Name, name, err)
+		}
+		rep, err := sim.SimulateContext(ctx, opt.Config, res.InitialPlacement, res.Ops, opt.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("eval %s: %s sim: %w", c.Name, name, err)
+		}
+		r.Outcomes[name] = &Outcome{Compiler: name, Result: res, Sim: rep}
 	}
-	simB, err := sim.Simulate(opt.Config, resB.InitialPlacement, resB.Ops, opt.Sim)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s: baseline sim: %w", c.Name, err)
-	}
-	simO, err := sim.Simulate(opt.Config, resO.InitialPlacement, resO.Ops, opt.Sim)
-	if err != nil {
-		return nil, fmt.Errorf("eval %s: optimized sim: %w", c.Name, err)
-	}
-	return &BenchResult{
-		Name:         c.Name,
-		Qubits:       c.NumQubits,
-		Gates2Q:      bench.Count2QNative(c),
-		Baseline:     resB,
-		Optimized:    resO,
-		BaselineSim:  simB,
-		OptimizedSim: simO,
-	}, nil
+	return r, nil
 }
 
 // RunNISQ evaluates the five NISQ benchmarks of Table II, in paper order.
-func RunNISQ(opt Options) ([]*BenchResult, error) {
+func RunNISQ(ctx context.Context, opt Options) ([]*BenchResult, error) {
 	specs := bench.Catalog()
 	circuits := make([]*circuit.Circuit, len(specs))
 	for i, s := range specs {
 		circuits[i] = s.Build()
 	}
-	return runAll(circuits, opt)
+	return runAll(ctx, circuits, opt)
 }
 
 // RunRandom evaluates the random suite (honoring RandomLimit).
-func RunRandom(opt Options) ([]*BenchResult, error) {
+func RunRandom(ctx context.Context, opt Options) ([]*BenchResult, error) {
 	circuits := bench.RandomSuite(opt.Random)
 	if opt.RandomLimit > 0 && opt.RandomLimit < len(circuits) {
 		circuits = circuits[:opt.RandomLimit]
 	}
-	return runAll(circuits, opt)
+	return runAll(ctx, circuits, opt)
 }
 
-// runAll evaluates circuits concurrently, preserving input order.
-func runAll(circuits []*circuit.Circuit, opt Options) ([]*BenchResult, error) {
+// RunAll evaluates an arbitrary circuit list concurrently, preserving input
+// order. On failure it still returns every successful result (in input
+// order, failed circuits omitted) together with an errors.Join of all
+// failures.
+func RunAll(ctx context.Context, circuits []*circuit.Circuit, opt Options) ([]*BenchResult, error) {
+	return runAll(ctx, circuits, opt)
+}
+
+// EventKind classifies an evaluation progress event.
+type EventKind int
+
+const (
+	// EventStarted fires when a worker picks up a circuit.
+	EventStarted EventKind = iota
+	// EventCompleted fires when a circuit finishes; Result is set.
+	EventCompleted
+	// EventFailed fires when a circuit errors; Err is set.
+	EventFailed
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventStarted:
+		return "started"
+	case EventCompleted:
+		return "completed"
+	case EventFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one typed progress notification of an evaluation run.
+type Event struct {
+	// Kind is the event type.
+	Kind EventKind
+	// Index is the circuit's position in the run; Total the run size.
+	Index, Total int
+	// Circuit is the circuit name.
+	Circuit string
+	// Result is the finished result (EventCompleted only).
+	Result *BenchResult
+	// Err is the failure (EventFailed only).
+	Err error
+}
+
+// ItemResult is one streamed per-circuit outcome: either Result or Err is
+// set.
+type ItemResult struct {
+	// Index is the circuit's position in the input slice.
+	Index int
+	// Circuit is the circuit name.
+	Circuit string
+	// Result is the successful outcome.
+	Result *BenchResult
+	// Err is the failure.
+	Err error
+}
+
+// Stream evaluates circuits concurrently and sends one ItemResult per
+// circuit in completion order, closing the channel when the run ends. On
+// cancellation, circuits not yet started are skipped (no item is sent for
+// them) and in-flight compilations abort promptly with ctx.Err(); callers
+// that need a terminal error should check ctx.Err() after the channel
+// closes. The channel is buffered for the whole run, so an abandoned
+// consumer never wedges the workers.
+func Stream(ctx context.Context, circuits []*circuit.Circuit, opt Options) <-chan ItemResult {
 	par := opt.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	results := make([]*BenchResult, len(circuits))
-	errs := make([]error, len(circuits))
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for i, c := range circuits {
-		wg.Add(1)
-		go func(i int, c *circuit.Circuit) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := RunCircuit(c, opt)
-			results[i], errs[i] = r, err
-			if opt.Progress != nil {
-				mu.Lock()
-				if err != nil {
-					fmt.Fprintf(opt.Progress, "%-28s ERROR: %v\n", c.Name, err)
-				} else {
-					d, pct := r.Reduction()
-					fmt.Fprintf(opt.Progress, "%-28s base=%5d opt=%5d  -%d (%.2f%%)\n",
-						c.Name, r.Baseline.Shuttles, r.Optimized.Shuttles, d, pct)
-				}
-				mu.Unlock()
-			}
-		}(i, c)
+	if par > len(circuits) {
+		par = len(circuits)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	out := make(chan ItemResult, len(circuits))
+	jobs := make(chan int, len(circuits))
+	for i := range circuits {
+		jobs <- i
+	}
+	close(jobs)
+
+	var emitMu sync.Mutex
+	emit := func(ev Event) {
+		if opt.OnEvent == nil && opt.Progress == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if opt.OnEvent != nil {
+			opt.OnEvent(ev)
+		}
+		if opt.Progress != nil {
+			switch ev.Kind {
+			case EventCompleted:
+				d, pct := ev.Result.Reduction()
+				base, o := ev.Result.Pair()
+				fmt.Fprintf(opt.Progress, "%-28s base=%5d opt=%5d  -%d (%.2f%%)\n",
+					ev.Circuit, base.Result.Shuttles, o.Result.Shuttles, d, pct)
+			case EventFailed:
+				fmt.Fprintf(opt.Progress, "%-28s ERROR: %v\n", ev.Circuit, ev.Err)
+			}
 		}
 	}
-	return results, nil
+
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // canceled: drain without starting new work
+				}
+				c := circuits[i]
+				emit(Event{Kind: EventStarted, Index: i, Total: len(circuits), Circuit: c.Name})
+				r, err := RunCircuit(ctx, c, opt)
+				if err != nil {
+					emit(Event{Kind: EventFailed, Index: i, Total: len(circuits), Circuit: c.Name, Err: err})
+					out <- ItemResult{Index: i, Circuit: c.Name, Err: err}
+					continue
+				}
+				emit(Event{Kind: EventCompleted, Index: i, Total: len(circuits), Circuit: c.Name, Result: r})
+				out <- ItemResult{Index: i, Circuit: c.Name, Result: r}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// runAll drains Stream into an input-ordered slice. Unlike the historical
+// first-error-wins behavior, every successful result survives a partial
+// failure: the returned slice holds the completed circuits in input order
+// and the error is an errors.Join of every per-circuit failure (plus
+// ctx.Err() when the run was canceled).
+func runAll(ctx context.Context, circuits []*circuit.Circuit, opt Options) ([]*BenchResult, error) {
+	byIndex := make([]*BenchResult, len(circuits))
+	var errs []error
+	for item := range Stream(ctx, circuits, opt) {
+		if item.Err != nil {
+			errs = append(errs, item.Err)
+		} else {
+			byIndex[item.Index] = item.Result
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	results := make([]*BenchResult, 0, len(circuits))
+	for _, r := range byIndex {
+		if r != nil {
+			results = append(results, r)
+		}
+	}
+	return results, errors.Join(errs...)
 }
 
 // Stats summarises a set of per-circuit values as mean (std), the format of

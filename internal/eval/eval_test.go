@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -30,21 +31,25 @@ func smallOptions() Options {
 func TestRunCircuitProducesBothSides(t *testing.T) {
 	opt := smallOptions()
 	c := bench.Random(12, 60, 3)
-	r, err := RunCircuit(c, opt)
+	r, err := RunCircuit(context.Background(), c, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Baseline == nil || r.Optimized == nil || r.BaselineSim == nil || r.OptimizedSim == nil {
+	base, optOut := r.Pair()
+	if base == nil || optOut == nil || base.Result == nil || optOut.Result == nil || base.Sim == nil || optOut.Sim == nil {
 		t.Fatal("missing result parts")
+	}
+	if r.Outcome("baseline") != base || r.Outcome("optimized") != optOut {
+		t.Fatal("Pair does not match named outcomes")
 	}
 	if r.Gates2Q != 60 {
 		t.Errorf("Gates2Q = %d, want 60", r.Gates2Q)
 	}
 	d, pct := r.Reduction()
-	if d != r.Baseline.Shuttles-r.Optimized.Shuttles {
+	if d != base.Result.Shuttles-optOut.Result.Shuttles {
 		t.Error("Reduction delta wrong")
 	}
-	wantPct := 100 * float64(d) / float64(r.Baseline.Shuttles)
+	wantPct := 100 * float64(d) / float64(base.Result.Shuttles)
 	if math.Abs(pct-wantPct) > 1e-9 {
 		t.Error("Reduction pct wrong")
 	}
@@ -56,12 +61,12 @@ func TestRunCircuitProducesBothSides(t *testing.T) {
 func TestRunRandomParallelDeterministic(t *testing.T) {
 	opt := smallOptions()
 	opt.Parallelism = 4
-	a, err := RunRandom(opt)
+	a, err := RunRandom(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Parallelism = 1
-	b, err := RunRandom(opt)
+	b, err := RunRandom(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +74,14 @@ func TestRunRandomParallelDeterministic(t *testing.T) {
 		t.Fatalf("suite sizes %d/%d, want 4", len(a), len(b))
 	}
 	for i := range a {
+		ab, ao := a[i].Pair()
+		bb, bo := b[i].Pair()
 		if a[i].Name != b[i].Name ||
-			a[i].Baseline.Shuttles != b[i].Baseline.Shuttles ||
-			a[i].Optimized.Shuttles != b[i].Optimized.Shuttles {
+			ab.Result.Shuttles != bb.Result.Shuttles ||
+			ao.Result.Shuttles != bo.Result.Shuttles {
 			t.Fatalf("parallel run differs at %d: %s %d/%d vs %s %d/%d",
-				i, a[i].Name, a[i].Baseline.Shuttles, a[i].Optimized.Shuttles,
-				b[i].Name, b[i].Baseline.Shuttles, b[i].Optimized.Shuttles)
+				i, a[i].Name, ab.Result.Shuttles, ao.Result.Shuttles,
+				b[i].Name, bb.Result.Shuttles, bo.Result.Shuttles)
 		}
 	}
 }
@@ -82,7 +89,7 @@ func TestRunRandomParallelDeterministic(t *testing.T) {
 func TestRandomLimit(t *testing.T) {
 	opt := smallOptions()
 	opt.RandomLimit = 2
-	rs, err := RunRandom(opt)
+	rs, err := RunRandom(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +103,7 @@ func TestProgressOutput(t *testing.T) {
 	opt.RandomLimit = 1
 	var sb strings.Builder
 	opt.Progress = &sb
-	if _, err := RunRandom(opt); err != nil {
+	if _, err := RunRandom(context.Background(), opt); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "base=") {
@@ -121,7 +128,7 @@ func TestStats(t *testing.T) {
 func TestTableFormatting(t *testing.T) {
 	opt := smallOptions()
 	opt.RandomLimit = 2
-	random, err := RunRandom(opt)
+	random, err := RunRandom(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +169,7 @@ func TestNISQShapeHolds(t *testing.T) {
 		t.Skip("full NISQ evaluation in -short mode")
 	}
 	opt := DefaultOptions()
-	results, err := RunNISQ(opt)
+	results, err := RunNISQ(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,8 +178,9 @@ func TestNISQShapeHolds(t *testing.T) {
 	}
 	for _, r := range results {
 		d, pct := r.Reduction()
+		base, opt := r.Pair()
 		if d <= 0 {
-			t.Errorf("%s: optimized (%d) did not beat baseline (%d)", r.Name, r.Optimized.Shuttles, r.Baseline.Shuttles)
+			t.Errorf("%s: optimized (%d) did not beat baseline (%d)", r.Name, opt.Result.Shuttles, base.Result.Shuttles)
 		}
 		if pct < 10 || pct > 70 {
 			t.Errorf("%s: reduction %.1f%% outside plausible band", r.Name, pct)
@@ -206,13 +214,13 @@ func TestRandomSubsetShapeHolds(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.RandomLimit = 10
-	results, err := RunRandom(opt)
+	results, err := RunRandom(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range results {
-		if r.Optimized.Shuttles >= r.Baseline.Shuttles {
-			t.Errorf("%s: optimized %d >= baseline %d", r.Name, r.Optimized.Shuttles, r.Baseline.Shuttles)
+		if base, opt := r.Pair(); opt.Result.Shuttles >= base.Result.Shuttles {
+			t.Errorf("%s: optimized %d >= baseline %d", r.Name, opt.Result.Shuttles, base.Result.Shuttles)
 		}
 	}
 }

@@ -1,0 +1,200 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"muzzle/internal/bench"
+	"muzzle/internal/circuit"
+	"muzzle/internal/compiler"
+	"muzzle/internal/core"
+	"muzzle/internal/registry"
+)
+
+// TestRunAllPartialFailure pins the partial-failure contract: one bad
+// circuit must not discard the completed ones, and every failure must
+// surface through the joined error.
+func TestRunAllPartialFailure(t *testing.T) {
+	opt := smallOptions() // Linear(4) x capacity 8 = 32 ion slots
+	circuits := []*circuit.Circuit{
+		bench.Random(12, 40, 1),
+		bench.Random(60, 80, 2), // 60 qubits cannot fit: compile fails
+		bench.Random(16, 40, 3),
+	}
+	results, err := RunAll(context.Background(), circuits, opt)
+	if err == nil {
+		t.Fatal("expected an error from the oversized circuit")
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d partial results, want 2", len(results))
+	}
+	if results[0].Name != circuits[0].Name || results[1].Name != circuits[2].Name {
+		t.Errorf("partial results out of input order: %s, %s", results[0].Name, results[1].Name)
+	}
+	if !strings.Contains(err.Error(), circuits[1].Name) {
+		t.Errorf("joined error does not name the failed circuit: %v", err)
+	}
+}
+
+// TestRunAllAllFail: with every circuit failing, results are empty and the
+// error joins every failure.
+func TestRunAllAllFail(t *testing.T) {
+	opt := smallOptions()
+	circuits := []*circuit.Circuit{
+		bench.Random(60, 80, 1),
+		bench.Random(70, 80, 2),
+	}
+	results, err := RunAll(context.Background(), circuits, opt)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results, want 0", len(results))
+	}
+	for _, c := range circuits {
+		if !strings.Contains(err.Error(), c.Name) {
+			t.Errorf("joined error missing circuit %s: %v", c.Name, err)
+		}
+	}
+}
+
+// TestStreamEmitsEveryCircuit verifies the stream sends exactly one item
+// per circuit and the typed progress callback sees starts and terminals.
+func TestStreamEmitsEveryCircuit(t *testing.T) {
+	opt := smallOptions()
+	var started, completed, failed int
+	opt.OnEvent = func(ev Event) {
+		switch ev.Kind {
+		case EventStarted:
+			started++
+		case EventCompleted:
+			completed++
+		case EventFailed:
+			failed++
+		}
+		if ev.Total != 3 {
+			t.Errorf("event Total = %d, want 3", ev.Total)
+		}
+	}
+	circuits := []*circuit.Circuit{
+		bench.Random(12, 40, 1),
+		bench.Random(60, 80, 2), // fails
+		bench.Random(16, 40, 3),
+	}
+	seen := map[int]bool{}
+	for item := range Stream(context.Background(), circuits, opt) {
+		if seen[item.Index] {
+			t.Errorf("duplicate item for index %d", item.Index)
+		}
+		seen[item.Index] = true
+		if (item.Result == nil) == (item.Err == nil) {
+			t.Errorf("item %d: exactly one of Result/Err must be set", item.Index)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("streamed %d items, want 3", len(seen))
+	}
+	if started != 3 || completed != 2 || failed != 1 {
+		t.Errorf("events started=%d completed=%d failed=%d, want 3/2/1", started, completed, failed)
+	}
+}
+
+// TestCancellationMidRun cancels after the first completed circuit and
+// checks the run stops promptly, keeps the finished work, and reports
+// context.Canceled.
+func TestCancellationMidRun(t *testing.T) {
+	opt := smallOptions()
+	opt.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt.OnEvent = func(ev Event) {
+		if ev.Kind == EventCompleted {
+			cancel()
+		}
+	}
+	var circuits []*circuit.Circuit
+	for i := 0; i < 8; i++ {
+		circuits = append(circuits, bench.Random(12, 40, int64(i)))
+	}
+	results, err := RunAll(ctx, circuits, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) == 0 || len(results) >= len(circuits) {
+		t.Errorf("got %d results after cancel, want partial (0 < n < %d)", len(results), len(circuits))
+	}
+}
+
+// TestCancellationBeforeStart: an already-canceled context yields no
+// results and context.Canceled without compiling anything.
+func TestCancellationBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := smallOptions()
+	opt.RandomLimit = 2
+	results, err := RunRandom(ctx, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != 0 {
+		t.Errorf("got %d results, want 0", len(results))
+	}
+}
+
+// TestThirdCompilerViaRegistry: a compiler registered under a new name
+// participates in a run with no harness changes, and the Matrix renderer
+// shows its column.
+func TestThirdCompilerViaRegistry(t *testing.T) {
+	name := "eval-test-noreorder"
+	if !registry.Has(name) {
+		err := registry.Register(name, func() *compiler.Compiler {
+			return core.NewWithOptions(core.Options{DisableReorder: true})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := smallOptions()
+	opt.Compilers = []string{registry.Baseline, registry.Optimized, name}
+	r, err := RunCircuit(context.Background(), bench.Random(14, 60, 9), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := r.Outcome(name)
+	if third == nil || third.Result == nil || third.Sim == nil {
+		t.Fatal("third compiler outcome missing")
+	}
+	base, optOut := r.Pair()
+	if base.Compiler != registry.Baseline || optOut.Compiler != registry.Optimized {
+		t.Errorf("Pair picked %s/%s, want baseline/optimized", base.Compiler, optOut.Compiler)
+	}
+	m := Matrix([]*BenchResult{r})
+	if !strings.Contains(m, name) {
+		t.Errorf("Matrix missing third compiler column:\n%s", m)
+	}
+}
+
+// TestMapperOption: a custom initial-mapping policy flows through the run.
+func TestMapperOption(t *testing.T) {
+	opt := smallOptions()
+	opt.Mapper = compiler.RoundRobinMapper{}
+	r, err := RunCircuit(context.Background(), bench.Random(12, 40, 4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Gates2Q != 40 {
+		t.Errorf("Gates2Q = %d, want 40", r.Gates2Q)
+	}
+}
+
+// TestUnknownCompilerName: an unresolved name fails the circuit cleanly.
+func TestUnknownCompilerName(t *testing.T) {
+	opt := smallOptions()
+	opt.Compilers = []string{"definitely-not-registered"}
+	_, err := RunCircuit(context.Background(), bench.Random(12, 40, 4), opt)
+	if err == nil || !strings.Contains(err.Error(), "definitely-not-registered") {
+		t.Fatalf("err = %v, want unknown-compiler error", err)
+	}
+}

@@ -16,16 +16,18 @@ func TableII(nisq, random []*BenchResult) string {
 		"Benchmark", "Qubits", "2Q gates", "[7]", "This Work", "Δ(↓)", "%Δ")
 	for _, r := range nisq {
 		d, pct := r.Reduction()
+		base, opt := r.Pair()
 		fmt.Fprintf(&b, "%-14s %-7d %-10d %9d %10d %7d %7.2f%%\n",
-			r.Name, r.Qubits, r.Gates2Q, r.Baseline.Shuttles, r.Optimized.Shuttles, d, pct)
+			r.Name, r.Qubits, r.Gates2Q, base.Result.Shuttles, opt.Result.Shuttles, d, pct)
 	}
 	if len(random) > 0 {
 		var gates, base, opt, delta, pct []float64
 		minQ, maxQ := random[0].Qubits, random[0].Qubits
 		for _, r := range random {
+			ob, oo := r.Pair()
 			gates = append(gates, float64(r.Gates2Q))
-			base = append(base, float64(r.Baseline.Shuttles))
-			opt = append(opt, float64(r.Optimized.Shuttles))
+			base = append(base, float64(ob.Result.Shuttles))
+			opt = append(opt, float64(oo.Result.Shuttles))
 			d, p := r.Reduction()
 			delta = append(delta, float64(d))
 			pct = append(pct, p)
@@ -64,7 +66,8 @@ func Figure8(nisq, random []*BenchResult) string {
 		// dominated by a handful of very hot baseline outliers.
 		sumLog := 0.0
 		for _, r := range random {
-			sumLog += r.OptimizedSim.LogFidelity - r.BaselineSim.LogFidelity
+			ob, oo := r.Pair()
+			sumLog += oo.Sim.LogFidelity - ob.Sim.LogFidelity
 		}
 		rows = append(rows, row{"Random", math.Exp(sumLog / float64(len(random)))})
 	}
@@ -91,15 +94,17 @@ func TableIII(nisq, random []*BenchResult) string {
 	fmt.Fprintf(&b, "%-14s %18s %12s %10s\n",
 		"Benchmark", "This work (sec)", "[7] (sec)", "Δ(↑) (sec)")
 	for _, r := range nisq {
-		to := r.Optimized.CompileTime.Seconds()
-		tb := r.Baseline.CompileTime.Seconds()
+		base, opt := r.Pair()
+		to := opt.Result.CompileTime.Seconds()
+		tb := base.Result.CompileTime.Seconds()
 		fmt.Fprintf(&b, "%-14s %18.3f %12.3f %10.3f\n", r.Name, to, tb, to-tb)
 	}
 	if len(random) > 0 {
 		var to, tb, dt []float64
 		for _, r := range random {
-			o := r.Optimized.CompileTime.Seconds()
-			bl := r.Baseline.CompileTime.Seconds()
+			base, opt := r.Pair()
+			o := opt.Result.CompileTime.Seconds()
+			bl := base.Result.CompileTime.Seconds()
 			to = append(to, o)
 			tb = append(tb, bl)
 			dt = append(dt, o-bl)
@@ -131,11 +136,40 @@ func Summary(nisq, random []*BenchResult) string {
 		if imp := r.Improvement(); imp > maxImp {
 			maxImp = imp
 		}
-		if r.Optimized.Shuttles < r.Baseline.Shuttles {
+		if base, opt := r.Pair(); opt.Result.Shuttles < base.Result.Shuttles {
 			wins++
 		}
 	}
 	return fmt.Sprintf(
 		"circuits=%d  wins=%d  max shuttle reduction=%.2f%%  avg=%.2f%%  max fidelity improvement=%.2fX",
 		len(all), wins, maxPct, sumPct/float64(len(all)), maxImp)
+}
+
+// Matrix renders the N-compiler generalization of Table II: one row per
+// circuit with a shuttle-count column for every compiler of the run (in run
+// order), so registry-added compilers appear alongside the paper's pair.
+func Matrix(results []*BenchResult) string {
+	var b strings.Builder
+	if len(results) == 0 {
+		return "no results\n"
+	}
+	names := results[0].Compilers
+	fmt.Fprintf(&b, "SHUTTLES BY COMPILER\n")
+	fmt.Fprintf(&b, "%-20s %-7s", "Benchmark", "Qubits")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %14s", n)
+	}
+	b.WriteString("\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-20s %-7d", r.Name, r.Qubits)
+		for _, n := range names {
+			if o := r.Outcome(n); o != nil {
+				fmt.Fprintf(&b, " %14d", o.Result.Shuttles)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }

@@ -1,0 +1,102 @@
+// Package registry is the process-wide compiler registry: a named factory
+// table the evaluation harness resolves compilers from. The two compilers
+// of the paper's evaluation — the QCCDSim-style baseline of Murali et al.
+// (ISCA 2020) and the paper's optimized compiler — are pre-registered under
+// the names "baseline" and "optimized"; callers add further variants (policy
+// sweeps, ablations, third-party compilers) with Register and every
+// registered name becomes usable in an evaluation run without touching the
+// harness.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"muzzle/internal/baseline"
+	"muzzle/internal/compiler"
+	"muzzle/internal/core"
+)
+
+// Sentinel causes, matchable with errors.Is.
+var (
+	// ErrDuplicate marks a registration under a name already taken.
+	ErrDuplicate = errors.New("compiler already registered")
+	// ErrUnknown marks a lookup of an unregistered name.
+	ErrUnknown = errors.New("unknown compiler")
+	// ErrInvalid marks an empty name or nil factory.
+	ErrInvalid = errors.New("invalid registration")
+)
+
+// Baseline and Optimized are the names of the pre-registered compilers.
+const (
+	Baseline  = "baseline"
+	Optimized = "optimized"
+)
+
+// Factory builds a fresh compiler instance. Evaluation runs call the
+// factory once per compilation, so factories must be safe for concurrent
+// use but the compilers they return need not be.
+type Factory func() *compiler.Compiler
+
+var (
+	mu        sync.RWMutex
+	factories = map[string]Factory{
+		Baseline:  func() *compiler.Compiler { return baseline.New() },
+		Optimized: func() *compiler.Compiler { return core.New() },
+	}
+)
+
+// Register adds a named compiler factory. It fails on an empty name, a nil
+// factory, or a name already taken (including the pre-registered pair).
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("registry: %w: name must not be empty", ErrInvalid)
+	}
+	if f == nil {
+		return fmt.Errorf("registry: %w: compiler %q: factory must not be nil", ErrInvalid, name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := factories[name]; ok {
+		return fmt.Errorf("registry: %w: %q", ErrDuplicate, name)
+	}
+	factories[name] = f
+	return nil
+}
+
+// Lookup resolves a registered compiler factory by name.
+func Lookup(name string) (Factory, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: %w: %q (registered: %v)", ErrUnknown, name, namesLocked())
+	}
+	return f, nil
+}
+
+// Has reports whether name is registered.
+func Has(name string) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	_, ok := factories[name]
+	return ok
+}
+
+// Names returns the registered compiler names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,70 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"muzzle/internal/compiler"
+	"muzzle/internal/core"
+)
+
+func TestPreRegisteredPair(t *testing.T) {
+	for _, name := range []string{Baseline, Optimized} {
+		f, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if f() == nil {
+			t.Fatalf("factory %q returned nil compiler", name)
+		}
+		if !Has(name) {
+			t.Errorf("Has(%q) = false", name)
+		}
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	if err := Register("", func() *compiler.Compiler { return core.New() }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register("nil-factory", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := Register(Baseline, func() *compiler.Compiler { return core.New() }); err == nil {
+		t.Error("duplicate of pre-registered name accepted")
+	}
+	if err := Register("registry-test-dup", func() *compiler.Compiler { return core.New() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("registry-test-dup", func() *compiler.Compiler { return core.New() }); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("no-such-compiler")
+	if err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	if !strings.Contains(err.Error(), "no-such-compiler") {
+		t.Errorf("error does not name the missing compiler: %v", err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted/unique: %v", names)
+		}
+	}
+	found := 0
+	for _, n := range names {
+		if n == Baseline || n == Optimized {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("pre-registered pair missing from %v", names)
+	}
+}

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -164,6 +165,17 @@ type Report struct {
 // placement must be the pre-execution snapshot so chain sizes during replay
 // match what the compiler saw.
 func Simulate(cfg machine.Config, initial [][]int, ops []machine.Op, params Params) (*Report, error) {
+	return SimulateContext(context.Background(), cfg, initial, ops, params)
+}
+
+// cancelCheckStride bounds how many trace ops replay between context
+// checks; replay cost per op is tiny, so a coarse stride keeps the check
+// overhead invisible while still bounding cancellation latency.
+const cancelCheckStride = 4096
+
+// SimulateContext is Simulate with cooperative cancellation: the replay
+// loop checks ctx every few thousand ops and aborts with ctx.Err().
+func SimulateContext(ctx context.Context, cfg machine.Config, initial [][]int, ops []machine.Op, params Params) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,6 +227,11 @@ func Simulate(cfg machine.Config, initial [][]int, ops []machine.Op, params Para
 	}
 
 	for i, op := range ops {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: canceled at op %d/%d: %w", i, len(ops), err)
+			}
+		}
 		switch op.Kind {
 		case machine.OpGate1Q:
 			t := st.IonTrap(op.Ion)

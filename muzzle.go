@@ -14,19 +14,42 @@
 // simulator, the paper's benchmark suite, and the evaluation harness that
 // regenerates its tables and figures.
 //
-// Quick start:
+// # Pipeline: the primary API
 //
-//	c := muzzle.QFT(16)
-//	res, err := muzzle.Compile(c, muzzle.PaperMachine())
+// Pipeline is the entry point: a context-aware bundle of hardware model,
+// compiler set, and simulator constants, assembled with functional options.
+// With no options it reproduces the paper's evaluation setup exactly.
+//
+//	p, err := muzzle.NewPipeline() // the paper's setup
+//	res, err := p.Compile(ctx, muzzle.QFT(16))
 //	// res.Shuttles, res.CompileTime, ...
-//	rep, err := muzzle.Simulate(res)
+//	rep, err := p.Simulate(ctx, res)
 //	// rep.Fidelity, rep.Duration, ...
+//	results, err := p.EvaluateNISQ(ctx) // Table II rows
+//
+// Every Pipeline method takes a context.Context and cancels cooperatively —
+// down to the compiler scheduling loop — so callers can impose timeouts and
+// abort long evaluation runs promptly. Evaluation runs compare any number
+// of compilers resolved by name from the process-wide registry
+// (RegisterCompiler; "baseline" and "optimized" are pre-registered), stream
+// per-circuit results as they complete (Pipeline.EvaluateStream,
+// WithProgress), survive partial failures (completed circuits are returned
+// alongside an errors.Join of the failures), and report structured *Error
+// values with stable codes at the public boundary.
+//
+// # Deprecated free functions
+//
+// The original flat-function surface (Compile, CompileBaseline, Evaluate,
+// EvaluateNISQ, EvaluateRandom, Simulate, ...) remains as thin wrappers
+// over the paper's fixed two-compiler setup with context.Background(); new
+// code should construct a Pipeline instead.
 //
 // The subpackages under internal/ hold the implementation; this package is
 // the stable public surface re-exporting what downstream users need.
 package muzzle
 
 import (
+	"context"
 	"io"
 
 	"muzzle/internal/baseline"
@@ -76,7 +99,8 @@ type BenchSpec = bench.Spec
 // EvalOptions configure an evaluation run over the benchmark suite.
 type EvalOptions = eval.Options
 
-// EvalResult pairs baseline and optimized outcomes for one circuit.
+// EvalResult holds per-compiler outcomes for one circuit; the paper's
+// artifacts read its reference pair (Pair, Reduction, Improvement).
 type EvalResult = eval.BenchResult
 
 // OptimizerOptions select which of the paper's three heuristics are active;
@@ -142,11 +166,16 @@ func NewOptimizedCompilerWithOptions(o OptimizerOptions) *Compiler {
 func NewBaselineCompiler() *Compiler { return baseline.New() }
 
 // Compile compiles a circuit with the paper's optimized compiler.
+//
+// Deprecated: use Pipeline.Compile, which adds context cancellation and
+// configurable compilers.
 func Compile(c *Circuit, cfg MachineConfig) (*CompileResult, error) {
 	return core.New().Compile(c, cfg)
 }
 
 // CompileBaseline compiles a circuit with the baseline compiler.
+//
+// Deprecated: use Pipeline.CompileWith(ctx, "baseline", c).
 func CompileBaseline(c *Circuit, cfg MachineConfig) (*CompileResult, error) {
 	return baseline.New().Compile(c, cfg)
 }
@@ -157,6 +186,9 @@ func DefaultSimParams() SimParams { return sim.DefaultParams() }
 
 // Simulate replays a compiled program under the default model constants,
 // returning duration and program-fidelity estimates.
+//
+// Deprecated: use Pipeline.Simulate, which adds context cancellation and
+// per-pipeline simulator constants.
 func Simulate(res *CompileResult) (*SimReport, error) {
 	return sim.Simulate(res.Config, res.InitialPlacement, res.Ops, sim.DefaultParams())
 }
@@ -190,18 +222,37 @@ func RandomCircuit(qubits, gates2q int, seed int64) *Circuit {
 }
 
 // DefaultEvalOptions returns the paper's evaluation setup.
+//
+// Deprecated: construct a Pipeline with NewPipeline instead; its zero
+// options are this setup.
 func DefaultEvalOptions() EvalOptions { return eval.DefaultOptions() }
 
-// Evaluate runs both compilers on one circuit and simulates both traces.
+// Evaluate runs the configured compilers on one circuit and simulates the
+// traces.
+//
+// Deprecated: use Pipeline.EvaluateCircuit, which adds context
+// cancellation.
 func Evaluate(c *Circuit, opt EvalOptions) (*EvalResult, error) {
-	return eval.RunCircuit(c, opt)
+	return eval.RunCircuit(context.Background(), c, opt)
 }
 
-// EvaluateNISQ runs the five NISQ benchmarks through both compilers.
-func EvaluateNISQ(opt EvalOptions) ([]*EvalResult, error) { return eval.RunNISQ(opt) }
+// EvaluateNISQ runs the five NISQ benchmarks through the configured
+// compilers.
+//
+// Deprecated: use Pipeline.EvaluateNISQ, which adds context cancellation,
+// streaming, and partial-failure results.
+func EvaluateNISQ(opt EvalOptions) ([]*EvalResult, error) {
+	return eval.RunNISQ(context.Background(), opt)
+}
 
-// EvaluateRandom runs the random benchmark suite through both compilers.
-func EvaluateRandom(opt EvalOptions) ([]*EvalResult, error) { return eval.RunRandom(opt) }
+// EvaluateRandom runs the random benchmark suite through the configured
+// compilers.
+//
+// Deprecated: use Pipeline.EvaluateRandom, which adds context
+// cancellation, streaming, and partial-failure results.
+func EvaluateRandom(opt EvalOptions) ([]*EvalResult, error) {
+	return eval.RunRandom(context.Background(), opt)
+}
 
 // FormatTableII renders the shuttle-reduction table (paper Table II).
 func FormatTableII(nisq, random []*EvalResult) string { return eval.TableII(nisq, random) }

@@ -1,0 +1,54 @@
+package muzzle
+
+import (
+	"errors"
+
+	"muzzle/internal/registry"
+)
+
+// CompilerBaseline and CompilerOptimized are the registry names of the two
+// pre-registered compilers: the QCCDSim-style baseline of Murali et al.
+// (ISCA 2020) and the paper's optimized compiler.
+const (
+	CompilerBaseline  = registry.Baseline
+	CompilerOptimized = registry.Optimized
+)
+
+// CompilerFactory builds a fresh compiler instance. Evaluation runs invoke
+// the factory once per compilation, concurrently; the factory must be
+// goroutine-safe, the returned compiler need not be.
+type CompilerFactory func() *Compiler
+
+// RegisterCompiler adds a named compiler to the process-wide registry.
+// Registered names become valid arguments to WithCompilers and participate
+// in Pipeline.Evaluate runs next to the pre-registered "baseline" and
+// "optimized" pair. Registration fails with ErrDuplicateCompiler when the
+// name is taken and ErrBadOption on an empty name or nil factory.
+func RegisterCompiler(name string, factory CompilerFactory) error {
+	var f registry.Factory
+	if factory != nil {
+		f = func() *Compiler { return factory() }
+	}
+	if err := registry.Register(name, f); err != nil {
+		code := ErrBadOption
+		if errors.Is(err, registry.ErrDuplicate) {
+			code = ErrDuplicateCompiler
+		}
+		return newError(code, "RegisterCompiler", err)
+	}
+	return nil
+}
+
+// MustRegisterCompiler is RegisterCompiler, panicking on error; intended
+// for init-time registration of compiler variants.
+func MustRegisterCompiler(name string, factory CompilerFactory) {
+	if err := RegisterCompiler(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// RegisteredCompilers returns every registered compiler name, sorted.
+func RegisteredCompilers() []string { return registry.Names() }
+
+// HasCompiler reports whether a compiler name is registered.
+func HasCompiler(name string) bool { return registry.Has(name) }
