@@ -1,0 +1,86 @@
+package muzzle
+
+import (
+	"io"
+
+	"muzzle/internal/cache"
+	"muzzle/internal/eval"
+)
+
+// CacheConfig sizes a compile cache and optionally roots its disk
+// persistence.
+type CacheConfig struct {
+	// MaxEntries bounds the in-memory LRU (0 = 1024).
+	MaxEntries int
+	// Dir, when non-empty, persists result summaries as JSON under
+	// Dir/<k[:2]>/<k>.json (k = the hex content hash); a later process
+	// pointed at the same directory serves them without recompiling.
+	Dir string
+}
+
+// Cache is a content-addressed store of completed per-circuit evaluation
+// results, keyed by a stable hash of circuit content + machine + compiler
+// set + simulator constants. Install one with WithCache; a single Cache is
+// safe to share across pipelines and goroutines (the muzzled service runs
+// every job through one). In-memory hits return the full original result;
+// entries reloaded from the disk tier are summaries (counters, policies,
+// and simulator estimates — no operation trace).
+type Cache struct {
+	lru *cache.LRU
+}
+
+// NewCache builds a compile cache. The persistence directory, when
+// configured, is created eagerly so path problems surface here.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	lru, err := cache.New(cache.Config{MaxEntries: cfg.MaxEntries, Dir: cfg.Dir})
+	if err != nil {
+		return nil, newError(ErrBadOption, "NewCache", err)
+	}
+	return &Cache{lru: lru}, nil
+}
+
+// CacheStats snapshot the cache effectiveness counters.
+type CacheStats = cache.Stats
+
+// Stats returns a point-in-time snapshot of hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats { return c.lru.Stats() }
+
+// Len returns the current in-memory entry count.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// WithCache installs a compile cache on the pipeline: evaluation runs
+// (Evaluate, EvaluateStream, EvaluateCircuit, EvaluateNISQ, EvaluateRandom)
+// consult it before invoking any compiler and store fresh results on the
+// way out. Runs with a custom WithMapper bypass the cache, since the mapper
+// is not part of the content hash.
+func WithCache(c *Cache) PipelineOption {
+	return func(p *Pipeline) error {
+		if c == nil {
+			return newErrorf(ErrBadOption, "WithCache", "cache must not be nil")
+		}
+		p.opt.Cache = c.lru
+		return nil
+	}
+}
+
+// EvalResultJSON is the machine-readable per-circuit result schema shared
+// by the muzzled service, cmd/muzzle -json, and the cache's disk tier.
+type EvalResultJSON = eval.ResultJSON
+
+// EvalOutcomeJSON is one compiler's summary within an EvalResultJSON.
+type EvalOutcomeJSON = eval.OutcomeJSON
+
+// EncodeEvalResult summarizes an evaluation result into its JSON schema.
+func EncodeEvalResult(r *EvalResult) *EvalResultJSON { return eval.EncodeResult(r) }
+
+// WriteEvalResultJSON serializes an evaluation result summary as indented
+// JSON — the same schema the muzzled service returns.
+func WriteEvalResultJSON(w io.Writer, r *EvalResult) error {
+	return eval.WriteResultJSON(w, r)
+}
+
+// ReadEvalResultJSON parses a summary written by WriteEvalResultJSON (or
+// returned by the muzzled service).
+func ReadEvalResultJSON(r io.Reader) (*EvalResultJSON, error) {
+	return eval.ReadResultJSON(r)
+}

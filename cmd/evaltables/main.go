@@ -14,6 +14,10 @@
 // the paper's pair; runs with more than two print the per-compiler shuttle
 // matrix as well. Ctrl-C (or -timeout) cancels the run cooperatively and
 // still prints the artifacts for every circuit completed so far.
+//
+// A run in which any circuit failed still prints the partial tables but
+// exits with a non-zero status, so scripts cannot mistake a partial run
+// for a clean pass.
 package main
 
 import (
@@ -67,19 +71,33 @@ func run() error {
 		}
 		opts = append(opts, muzzle.WithCompilers(names...))
 	}
-	if *progress {
-		opts = append(opts, muzzle.WithProgress(func(ev muzzle.EvalEvent) {
-			switch ev.Kind {
-			case muzzle.EvalCompleted:
+	// The progress callback is always installed: it counts per-circuit
+	// failures so a partially failed run exits non-zero (scripts must not
+	// mistake partial tables for a clean pass); -progress only controls
+	// whether the per-circuit lines are printed.
+	var failed int
+	opts = append(opts, muzzle.WithProgress(func(ev muzzle.EvalEvent) {
+		switch ev.Kind {
+		case muzzle.EvalCompleted:
+			if *progress {
 				d, pct := ev.Result.Reduction()
 				fmt.Fprintf(os.Stderr, "[%3d/%3d] %-28s -%d shuttles (%.2f%%)\n",
 					ev.Index+1, ev.Total, ev.Circuit, d, pct)
-			case muzzle.EvalFailed:
+			}
+		case muzzle.EvalFailed:
+			// In-flight circuits aborted by Ctrl-C/-timeout surface as
+			// EvalFailed with a context error; a deliberate cancel is not
+			// a failure (the canceled() carve-out below prints partials
+			// and exits 0).
+			if !canceled(ev.Err) {
+				failed++
+			}
+			if *progress {
 				fmt.Fprintf(os.Stderr, "[%3d/%3d] %-28s ERROR: %v\n",
 					ev.Index+1, ev.Total, ev.Circuit, ev.Err)
 			}
-		}))
-	}
+		}
+	}))
 	p, err := muzzle.NewPipeline(opts...)
 	if err != nil {
 		return err
@@ -87,9 +105,13 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "evaluating 5 NISQ benchmarks on L6 (capacity 17, comm 2), compilers %v...\n",
 		p.Compilers())
+	// Evaluation errors are partial by design (completed circuits are
+	// still returned), so a failure must not abort before the tables
+	// print; it is surfaced as the non-zero exit below instead.
+	var runErr error
 	nisq, err := p.EvaluateNISQ(ctx)
 	if err != nil && !canceled(err) {
-		return err
+		runErr = err
 	}
 	var random []*muzzle.EvalResult
 	if !*noRandom && ctx.Err() == nil {
@@ -100,7 +122,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "evaluating %d random circuits...\n", n)
 		random, err = p.EvaluateRandom(ctx)
 		if err != nil && !canceled(err) {
-			return err
+			runErr = err
 		}
 	}
 	if ctx.Err() != nil {
@@ -122,6 +144,12 @@ func run() error {
 		fmt.Println(muzzle.FormatCompilerMatrix(nisq))
 	}
 	fmt.Println(muzzle.FormatSummary(nisq, random))
+	if failed > 0 {
+		return fmt.Errorf("%d circuit(s) failed; tables above are partial", failed)
+	}
+	if runErr != nil {
+		return runErr
+	}
 	return nil
 }
 

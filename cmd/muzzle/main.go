@@ -18,7 +18,11 @@
 //	                per CPU); note Table III-style compile times are
 //	                noisier when compilers share cores
 //	-timeout D      abort the whole run after D (e.g. 30s, 2m)
-//	-json FILE      write the last listed compiler's schedule as JSON
+//	-json           emit machine-readable per-circuit results on stdout —
+//	                the same schema the muzzled service returns, so CLI
+//	                and service outputs are interchangeable; replaces the
+//	                human-readable report and the other export flags
+//	-trace-json FILE  write the last listed compiler's schedule as JSON
 //	-svg FILE       write its trap x time Gantt chart SVG
 //	-render         print trap-occupancy snapshots
 //	-sim            simulate and print duration/fidelity
@@ -59,7 +63,8 @@ func run() error {
 	proximity := flag.Int("proximity", 0, "future-ops proximity window (0 = paper default 6, -1 = unbounded)")
 	parallelism := flag.Int("parallelism", 0, "concurrent compilations across -compilers (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no timeout)")
-	jsonPath := flag.String("json", "", "write the compiled schedule as JSON to this file")
+	jsonOut := flag.Bool("json", false, "emit per-circuit results as JSON on stdout (the muzzled service schema)")
+	tracePath := flag.String("trace-json", "", "write the compiled schedule as JSON to this file")
 	svgPath := flag.String("svg", "", "write a trap x time Gantt chart SVG to this file")
 	render := flag.Bool("render", false, "print trap-occupancy snapshots")
 	simulate := flag.Bool("sim", false, "simulate and print duration/fidelity")
@@ -111,6 +116,17 @@ func run() error {
 	)
 	if err != nil {
 		return err
+	}
+
+	// -json takes the evaluation path the muzzled service uses — every
+	// listed compiler plus the simulator on one circuit — and emits its
+	// result schema, so a script can treat CLI and daemon interchangeably.
+	if *jsonOut {
+		res, err := p.EvaluateCircuit(ctx, c)
+		if err != nil {
+			return err
+		}
+		return muzzle.WriteEvalResultJSON(os.Stdout, res)
 	}
 
 	fmt.Printf("circuit %s: %d qubits, %d gates (%d two-qubit)\n",
@@ -173,8 +189,8 @@ func run() error {
 			return err
 		}
 	}
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
 		if err != nil {
 			return err
 		}
@@ -182,7 +198,7 @@ func run() error {
 		if err := muzzle.WriteTraceJSON(f, last); err != nil {
 			return err
 		}
-		fmt.Printf("schedule written to %s\n", *jsonPath)
+		fmt.Printf("schedule written to %s\n", *tracePath)
 	}
 	if *svgPath != "" {
 		f, err := os.Create(*svgPath)

@@ -1,0 +1,128 @@
+// Command muzzled is the muzzle compilation service: an HTTP daemon that
+// absorbs compile/evaluate jobs into a bounded worker pool backed by
+// muzzle.Pipeline, serves repeated work from a content-addressed compile
+// cache (completed results are reused; identical jobs racing in flight
+// each compile once), and streams per-circuit results over SSE.
+//
+// Usage:
+//
+//	muzzled [flags]
+//
+// Flags:
+//
+//	-addr ADDR       listen address (default :8077)
+//	-workers N       concurrent jobs (default 2)
+//	-queue N         pending-job queue depth (default 256)
+//	-parallelism N   concurrent circuit evaluations per job (0 = one per CPU)
+//	-cache N         in-memory compile-cache entries (default 1024; 0 disables)
+//	-cache-dir DIR   persist cache entries as JSON under DIR (survives restarts)
+//	-traps N         traps in the linear topology (default 6)
+//	-capacity N      total trap capacity (default 17)
+//	-comm N          communication capacity (default 2)
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit {"qasm": ...} or {"random": {...}}
+//	GET    /v1/jobs/{id}        job snapshot with per-circuit results
+//	DELETE /v1/jobs/{id}        cancel a pending or running job
+//	GET    /v1/jobs/{id}/stream SSE per-circuit events (history replayed)
+//	GET    /v1/compilers        compiler registry listing
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus-style metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, running jobs are
+// canceled cooperatively (the context plumbing reaches the compiler
+// scheduling loop), and the process exits once the workers are idle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"muzzle"
+	"muzzle/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "muzzled:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 2, "concurrent jobs")
+	queue := flag.Int("queue", 256, "pending-job queue depth")
+	parallelism := flag.Int("parallelism", 0, "concurrent circuit evaluations per job (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", 1024, "in-memory compile-cache entries (0 disables caching)")
+	cacheDir := flag.String("cache-dir", "", "persist compile-cache entries under this directory")
+	traps := flag.Int("traps", 6, "number of traps in the linear topology")
+	capacity := flag.Int("capacity", 17, "total trap capacity")
+	comm := flag.Int("comm", 2, "communication capacity")
+	flag.Parse()
+
+	var cache *muzzle.Cache
+	if *cacheEntries > 0 {
+		var err error
+		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+	} else if *cacheDir != "" {
+		return fmt.Errorf("-cache-dir requires caching enabled (-cache > 0)")
+	}
+
+	mgr := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Cache:      cache,
+		PipelineOptions: []muzzle.PipelineOption{
+			muzzle.WithMachine(muzzle.LinearMachine(*traps, *capacity, *comm)),
+			muzzle.WithParallelism(*parallelism),
+		},
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mgr.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("muzzled listening on %s (workers=%d, cache=%d entries, dir=%q)",
+			*addr, *workers, *cacheEntries, *cacheDir)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		mgr.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: closing the manager first cancels every job,
+	// which terminates their SSE streams, which lets Shutdown's wait for
+	// active handlers finish. The other way around, a connected stream
+	// would stall Shutdown until its timeout.
+	log.Printf("muzzled draining...")
+	mgr.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("muzzled stopped")
+	return nil
+}

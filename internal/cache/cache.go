@@ -1,0 +1,241 @@
+// Package cache is the content-addressed compile/eval cache behind
+// muzzle.WithCache and the muzzled service: completed per-circuit
+// evaluation results keyed by a stable hash of circuit + machine +
+// compiler set + simulator constants (see Key), held in an in-memory LRU
+// with optional disk persistence.
+//
+// In-memory entries keep the full evaluation result (operation traces
+// included); the disk tier stores the JSON summary schema of
+// internal/eval, so results reloaded from disk carry every counter and
+// simulator estimate but no trace. Disk files are sharded by the first
+// two hex digits of the key: <dir>/ab/abcdef....json. Eviction drops
+// memory entries only — disk files persist until deleted externally.
+package cache
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"muzzle/internal/circuit"
+	"muzzle/internal/eval"
+	"muzzle/internal/machine"
+	"muzzle/internal/sim"
+)
+
+// DefaultMaxEntries bounds the in-memory LRU when no limit is configured.
+const DefaultMaxEntries = 1024
+
+// Config sizes an LRU and optionally roots its disk persistence.
+type Config struct {
+	// MaxEntries bounds the in-memory entry count (0 = DefaultMaxEntries).
+	MaxEntries int
+	// Dir, when non-empty, enables disk persistence rooted there. The
+	// directory is created on first use.
+	Dir string
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits counts Gets served from memory or disk.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets that found nothing.
+	Misses uint64 `json:"misses"`
+	// DiskHits counts the subset of Hits that were reloaded from disk.
+	DiskHits uint64 `json:"disk_hits"`
+	// Evictions counts memory entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current in-memory entry count.
+	Entries int `json:"entries"`
+	// WriteErrors counts failed disk persistence attempts (best-effort:
+	// a failed write never fails the evaluation).
+	WriteErrors uint64 `json:"write_errors,omitempty"`
+}
+
+type entry struct {
+	key string
+	res *eval.BenchResult
+}
+
+// LRU is a goroutine-safe, bounded, content-addressed result cache. It
+// implements eval.Cache.
+type LRU struct {
+	mu    sync.Mutex
+	max   int
+	dir   string
+	ll    *list.List
+	items map[string]*list.Element
+	stats Stats
+}
+
+// New builds an LRU from cfg. When cfg.Dir is set, it is created eagerly
+// so configuration errors surface at startup rather than on first Put.
+func New(cfg Config) (*LRU, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &LRU{
+		max:   cfg.MaxEntries,
+		dir:   cfg.Dir,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}, nil
+}
+
+// Get implements eval.Cache: memory first, then the disk tier.
+func (l *LRU) Get(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.Params) (*eval.BenchResult, bool) {
+	return l.GetKey(Key(c, cfg, compilers, params))
+}
+
+// Put implements eval.Cache.
+func (l *LRU) Put(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.Params, r *eval.BenchResult) {
+	l.PutKey(Key(c, cfg, compilers, params), r)
+}
+
+// GetKey looks up a precomputed key. On a memory miss with persistence
+// enabled, the disk tier is consulted and a decoded summary promoted into
+// memory.
+func (l *LRU) GetKey(key string) (*eval.BenchResult, bool) {
+	l.mu.Lock()
+	if el, ok := l.items[key]; ok {
+		l.ll.MoveToFront(el)
+		l.stats.Hits++
+		res := el.Value.(*entry).res
+		l.mu.Unlock()
+		return res, true
+	}
+	dir := l.dir
+	l.mu.Unlock()
+
+	if dir != "" {
+		if res := l.loadDisk(key); res != nil {
+			l.mu.Lock()
+			// Re-check: a concurrent disk hit (or Put) may have inserted
+			// the key while the lock was released; a second insert would
+			// orphan a list element under the same map key.
+			if el, ok := l.items[key]; ok {
+				l.ll.MoveToFront(el)
+				res = el.Value.(*entry).res
+			} else {
+				l.stats.DiskHits++
+				l.insertLocked(key, res)
+			}
+			l.stats.Hits++
+			l.mu.Unlock()
+			return res, true
+		}
+	}
+	l.mu.Lock()
+	l.stats.Misses++
+	l.mu.Unlock()
+	return nil, false
+}
+
+// PutKey stores a result under a precomputed key and persists its summary
+// to disk when enabled.
+func (l *LRU) PutKey(key string, r *eval.BenchResult) {
+	l.mu.Lock()
+	if el, ok := l.items[key]; ok {
+		l.ll.MoveToFront(el)
+		el.Value.(*entry).res = r
+		dir := l.dir
+		l.mu.Unlock()
+		if dir != "" {
+			l.storeDisk(key, r)
+		}
+		return
+	}
+	l.insertLocked(key, r)
+	dir := l.dir
+	l.mu.Unlock()
+	if dir != "" {
+		l.storeDisk(key, r)
+	}
+}
+
+// insertLocked adds a fresh entry and enforces the memory bound.
+func (l *LRU) insertLocked(key string, r *eval.BenchResult) {
+	l.items[key] = l.ll.PushFront(&entry{key: key, res: r})
+	for l.ll.Len() > l.max {
+		oldest := l.ll.Back()
+		l.ll.Remove(oldest)
+		delete(l.items, oldest.Value.(*entry).key)
+		l.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (l *LRU) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Entries = l.ll.Len()
+	return s
+}
+
+// Len returns the current in-memory entry count.
+func (l *LRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ll.Len()
+}
+
+// path returns the sharded disk location of a key.
+func (l *LRU) path(key string) string {
+	return filepath.Join(l.dir, key[:2], key+".json")
+}
+
+func (l *LRU) loadDisk(key string) *eval.BenchResult {
+	f, err := os.Open(l.path(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	j, err := eval.ReadResultJSON(f)
+	if err != nil {
+		return nil // corrupt entry: treat as miss, a fresh Put overwrites it
+	}
+	return j.BenchResult()
+}
+
+// storeDisk persists a summary best-effort: the write goes to a temp file
+// first and renames into place so concurrent readers never see a torn
+// entry.
+func (l *LRU) storeDisk(key string, r *eval.BenchResult) {
+	p := l.path(key)
+	fail := func() {
+		l.mu.Lock()
+		l.stats.WriteErrors++
+		l.mu.Unlock()
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		fail()
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp-*")
+	if err != nil {
+		fail()
+		return
+	}
+	if err := eval.WriteResultJSON(tmp, r); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		fail()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		fail()
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		fail()
+	}
+}

@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"muzzle/internal/circuit"
+	"muzzle/internal/compiler"
+	"muzzle/internal/eval"
+	"muzzle/internal/machine"
+	"muzzle/internal/sim"
+	"muzzle/internal/topo"
+)
+
+func sampleCircuit() *circuit.Circuit {
+	c := circuit.New("sample", 4)
+	c.Add1Q("h", 0)
+	c.Add2Q("cx", 0, 1)
+	c.Add2Q("cp", 1, 2, 0.25)
+	c.Add2Q("cx", 2, 3)
+	return c
+}
+
+func sampleResult(name string, shuttles int) *eval.BenchResult {
+	return &eval.BenchResult{
+		Name:      name,
+		Qubits:    4,
+		Gates2Q:   3,
+		Compilers: []string{"optimized"},
+		Outcomes: map[string]*eval.Outcome{
+			"optimized": {
+				Compiler: "optimized",
+				Result: &compiler.Result{
+					Circ:            circuit.New(name, 4),
+					Shuttles:        shuttles,
+					Swaps:           2,
+					CompileTime:     42 * time.Millisecond,
+					DirectionPolicy: "future-ops",
+				},
+				Sim: &sim.Report{Duration: 1234.5, LogFidelity: -0.25, Fidelity: 0.7788, Measures: 4},
+			},
+		},
+	}
+}
+
+func TestKeyStable(t *testing.T) {
+	cfg := machine.PaperL6()
+	names := []string{"baseline", "optimized"}
+	params := sim.DefaultParams()
+
+	k1 := Key(sampleCircuit(), cfg, names, params)
+	k2 := Key(sampleCircuit(), cfg, names, params)
+	if k1 != k2 {
+		t.Fatalf("identical inputs hash differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not hex SHA-256", k1)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := sampleCircuit()
+	cfg := machine.PaperL6()
+	names := []string{"baseline", "optimized"}
+	params := sim.DefaultParams()
+	ref := Key(base, cfg, names, params)
+
+	mutations := map[string]func() string{
+		"circuit name": func() string {
+			c := sampleCircuit()
+			c.Name = "other"
+			return Key(c, cfg, names, params)
+		},
+		"extra gate": func() string {
+			c := sampleCircuit()
+			c.Add2Q("cx", 0, 3)
+			return Key(c, cfg, names, params)
+		},
+		"gate operand": func() string {
+			c := sampleCircuit()
+			c.Gates[1].Qubits[1] = 2
+			return Key(c, cfg, names, params)
+		},
+		"gate angle": func() string {
+			c := sampleCircuit()
+			c.Gates[2].Params[0] = 0.5
+			return Key(c, cfg, names, params)
+		},
+		"capacity": func() string {
+			m := cfg
+			m.Capacity = 15
+			return Key(base, m, names, params)
+		},
+		"comm capacity": func() string {
+			m := cfg
+			m.CommCapacity = 3
+			return Key(base, m, names, params)
+		},
+		"topology": func() string {
+			m := cfg
+			m.Topology = topo.Ring(6)
+			return Key(base, m, names, params)
+		},
+		"compiler set": func() string {
+			return Key(base, cfg, []string{"optimized"}, params)
+		},
+		"compiler order": func() string {
+			return Key(base, cfg, []string{"optimized", "baseline"}, params)
+		},
+		"sim constant": func() string {
+			p := params
+			p.Time.Move = 7
+			return Key(base, cfg, names, p)
+		},
+		"cooling toggle": func() string {
+			p := params
+			p.Cooling = sim.DefaultCooling()
+			return Key(base, cfg, names, p)
+		},
+	}
+	for what, mutate := range mutations {
+		if got := mutate(); got == ref {
+			t.Errorf("changing %s did not change the key", what)
+		}
+	}
+	// Mutations must not have corrupted the reference inputs.
+	if again := Key(base, cfg, names, params); again != ref {
+		t.Fatalf("reference key drifted: %s vs %s", again, ref)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l, err := New(Config{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.PutKey("a", sampleResult("a", 1))
+	l.PutKey("b", sampleResult("b", 2))
+	// Touch "a" so "b" becomes the eviction candidate.
+	if _, ok := l.GetKey("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	l.PutKey("c", sampleResult("c", 3))
+
+	if _, ok := l.GetKey("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if _, ok := l.GetKey("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := l.GetKey("c"); !ok {
+		t.Error("c should be present")
+	}
+	s := l.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Errorf("Entries = %d, want 2", s.Entries)
+	}
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Errorf("Hits/Misses = %d/%d, want 3/1", s.Hits, s.Misses)
+	}
+}
+
+func TestEvalCacheInterface(t *testing.T) {
+	l, err := New(Config{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ eval.Cache = l
+
+	c := sampleCircuit()
+	cfg := machine.PaperL6()
+	names := []string{"optimized"}
+	params := sim.DefaultParams()
+	if _, ok := l.Get(c, cfg, names, params); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	want := sampleResult("sample", 9)
+	l.Put(c, cfg, names, params, want)
+	got, ok := l.Get(c, cfg, names, params)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got != want {
+		t.Error("in-memory hit should return the identical result pointer")
+	}
+}
+
+func TestDiskPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	first, err := New(Config{MaxEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult("persisted", 17)
+	first.PutKey("deadbeef", want)
+
+	// A fresh cache over the same directory serves the entry from disk.
+	second, err := New(Config{MaxEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := second.GetKey("deadbeef")
+	if !ok {
+		t.Fatal("disk entry not found by fresh cache")
+	}
+	o, w := got.Outcomes["optimized"], want.Outcomes["optimized"]
+	if o == nil {
+		t.Fatal("decoded result lost its outcome")
+	}
+	if o.Result.Shuttles != w.Result.Shuttles ||
+		o.Result.Swaps != w.Result.Swaps ||
+		o.Result.CompileTime != w.Result.CompileTime ||
+		o.Result.DirectionPolicy != w.Result.DirectionPolicy ||
+		o.Sim.LogFidelity != w.Sim.LogFidelity ||
+		o.Sim.Duration != w.Sim.Duration ||
+		o.Sim.Measures != w.Sim.Measures {
+		t.Errorf("disk round-trip mismatch: got %+v / %+v", o.Result, o.Sim)
+	}
+	s := second.Stats()
+	if s.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", s.DiskHits)
+	}
+	// The disk hit is promoted to memory: a second Get must not touch disk.
+	if _, ok := second.GetKey("deadbeef"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := second.Stats(); s.DiskHits != 1 || s.Hits != 2 {
+		t.Errorf("after promotion: DiskHits=%d Hits=%d, want 1/2", s.DiskHits, s.Hits)
+	}
+}

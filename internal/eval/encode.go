@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"muzzle/internal/circuit"
+	"muzzle/internal/compiler"
+	"muzzle/internal/sim"
+)
+
+// OutcomeJSON is the serialized summary of one compiler's outcome on one
+// circuit: the shuttle/gate counters and policy names of the compilation
+// plus the simulator's verdict. It deliberately omits the operation trace —
+// the summary is what the evaluation artifacts, the compile cache, and the
+// muzzled service exchange; use internal/trace for full-trace export.
+type OutcomeJSON struct {
+	Compiler        string `json:"compiler"`
+	Shuttles        int    `json:"shuttles"`
+	Swaps           int    `json:"swaps"`
+	Splits          int    `json:"splits"`
+	Merges          int    `json:"merges"`
+	Reorders        int    `json:"reorders"`
+	Rebalances      int    `json:"rebalances"`
+	Gates1Q         int    `json:"gates_1q"`
+	Gates2Q         int    `json:"gates_2q"`
+	CompileTimeNS   int64  `json:"compile_time_ns"`
+	DirectionPolicy string `json:"direction_policy,omitempty"`
+	RebalancePolicy string `json:"rebalance_policy,omitempty"`
+	ReorderPolicy   string `json:"reorder_policy,omitempty"`
+
+	DurationUS       float64 `json:"duration_us"`
+	LogFidelity      float64 `json:"log_fidelity"`
+	Fidelity         float64 `json:"fidelity"`
+	MaxChainN        float64 `json:"max_chain_n"`
+	MeanGateFidelity float64 `json:"mean_gate_fidelity"`
+	MinGateFidelity  float64 `json:"min_gate_fidelity"`
+	Coolings         int     `json:"coolings,omitempty"`
+	Measures         int     `json:"measures,omitempty"`
+}
+
+// ResultJSON is the machine-readable per-circuit result schema shared by
+// the muzzled service (job results and SSE "circuit" events), cmd/muzzle
+// -json, and the compile cache's disk persistence.
+type ResultJSON struct {
+	Circuit   string                  `json:"circuit"`
+	Qubits    int                     `json:"qubits"`
+	Gates2Q   int                     `json:"gates_2q"`
+	Compilers []string                `json:"compilers"`
+	Outcomes  map[string]*OutcomeJSON `json:"outcomes"`
+}
+
+// EncodeResult summarizes a BenchResult into its JSON schema.
+func EncodeResult(r *BenchResult) *ResultJSON {
+	j := &ResultJSON{
+		Circuit:   r.Name,
+		Qubits:    r.Qubits,
+		Gates2Q:   r.Gates2Q,
+		Compilers: append([]string(nil), r.Compilers...),
+		Outcomes:  make(map[string]*OutcomeJSON, len(r.Outcomes)),
+	}
+	for name, o := range r.Outcomes {
+		j.Outcomes[name] = &OutcomeJSON{
+			Compiler:         o.Compiler,
+			Shuttles:         o.Result.Shuttles,
+			Swaps:            o.Result.Swaps,
+			Splits:           o.Result.Splits,
+			Merges:           o.Result.Merges,
+			Reorders:         o.Result.Reorders,
+			Rebalances:       o.Result.Rebalances,
+			Gates1Q:          o.Result.Gates1Q,
+			Gates2Q:          o.Result.Gates2Q,
+			CompileTimeNS:    o.Result.CompileTime.Nanoseconds(),
+			DirectionPolicy:  o.Result.DirectionPolicy,
+			RebalancePolicy:  o.Result.RebalancePolicy,
+			ReorderPolicy:    o.Result.ReorderPolicy,
+			DurationUS:       o.Sim.Duration,
+			LogFidelity:      o.Sim.LogFidelity,
+			Fidelity:         o.Sim.Fidelity,
+			MaxChainN:        o.Sim.MaxChainN,
+			MeanGateFidelity: o.Sim.MeanGateFidelity,
+			MinGateFidelity:  o.Sim.MinGateFidelity,
+			Coolings:         o.Sim.Coolings,
+			Measures:         o.Sim.Measures,
+		}
+	}
+	return j
+}
+
+// BenchResult reconstructs a summary-only BenchResult: every counter,
+// policy name, and simulator estimate round-trips, but the operation trace
+// (Result.Ops, Result.Order, placements) and per-gate fidelities do not.
+// The evaluation artifacts (tables, figures, reductions) read only the
+// summary, so decoded results are interchangeable with live ones there.
+func (j *ResultJSON) BenchResult() *BenchResult {
+	r := &BenchResult{
+		Name:      j.Circuit,
+		Qubits:    j.Qubits,
+		Gates2Q:   j.Gates2Q,
+		Compilers: append([]string(nil), j.Compilers...),
+		Outcomes:  make(map[string]*Outcome, len(j.Outcomes)),
+	}
+	for name, o := range j.Outcomes {
+		r.Outcomes[name] = &Outcome{
+			Compiler: o.Compiler,
+			Result: &compiler.Result{
+				Circ:            circuit.New(j.Circuit, j.Qubits),
+				Shuttles:        o.Shuttles,
+				Swaps:           o.Swaps,
+				Splits:          o.Splits,
+				Merges:          o.Merges,
+				Reorders:        o.Reorders,
+				Rebalances:      o.Rebalances,
+				Gates1Q:         o.Gates1Q,
+				Gates2Q:         o.Gates2Q,
+				CompileTime:     time.Duration(o.CompileTimeNS) * time.Nanosecond,
+				DirectionPolicy: o.DirectionPolicy,
+				RebalancePolicy: o.RebalancePolicy,
+				ReorderPolicy:   o.ReorderPolicy,
+			},
+			Sim: &sim.Report{
+				Duration:         o.DurationUS,
+				LogFidelity:      o.LogFidelity,
+				Fidelity:         o.Fidelity,
+				Shuttles:         o.Shuttles,
+				Splits:           o.Splits,
+				Merges:           o.Merges,
+				Swaps:            o.Swaps,
+				Coolings:         o.Coolings,
+				Gates1Q:          o.Gates1Q,
+				Gates2Q:          o.Gates2Q,
+				Measures:         o.Measures,
+				MaxChainN:        o.MaxChainN,
+				MeanGateFidelity: o.MeanGateFidelity,
+				MinGateFidelity:  o.MinGateFidelity,
+			},
+		}
+	}
+	return r
+}
+
+// WriteResultJSON serializes a BenchResult summary as indented JSON.
+func WriteResultJSON(w io.Writer, r *BenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(EncodeResult(r))
+}
+
+// ReadResultJSON parses a summary previously written by WriteResultJSON.
+func ReadResultJSON(r io.Reader) (*ResultJSON, error) {
+	var j ResultJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("eval: decode result: %w", err)
+	}
+	return &j, nil
+}

@@ -57,6 +57,23 @@ type Options struct {
 	// completion, failure of each circuit). It is called from worker
 	// goroutines but never concurrently with itself.
 	OnEvent func(Event)
+	// Cache, when non-nil, is consulted before compiling a circuit and
+	// filled after a successful evaluation, keyed by circuit content +
+	// machine + compiler set + simulator constants. Runs with a custom
+	// Mapper bypass the cache (the mapper is not part of the key).
+	Cache Cache
+}
+
+// Cache is a read-through store of completed per-circuit results, keyed by
+// everything that determines the outcome: the circuit content, the machine
+// configuration, the compiler set, and the simulator constants.
+// Implementations must be safe for concurrent use; cached results are
+// shared between callers and must be treated as immutable.
+type Cache interface {
+	// Get returns the cached result for the evaluation inputs, if any.
+	Get(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.Params) (*BenchResult, bool)
+	// Put stores a completed result under the evaluation inputs.
+	Put(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.Params, r *BenchResult)
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -150,9 +167,17 @@ func (r *BenchResult) Improvement() float64 {
 }
 
 // RunCircuit evaluates one circuit under every configured compiler and the
-// simulator. The input circuit is not modified.
+// simulator. The input circuit is not modified. When Options.Cache is set
+// (and no custom Mapper is installed), a cached result is returned without
+// invoking any compiler, and fresh results are stored on the way out.
 func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchResult, error) {
 	names := opt.compilerNames()
+	useCache := opt.Cache != nil && opt.Mapper == nil
+	if useCache {
+		if r, ok := opt.Cache.Get(c, opt.Config, names, opt.Sim); ok {
+			return r, nil
+		}
+	}
 	r := &BenchResult{
 		Name:      c.Name,
 		Qubits:    c.NumQubits,
@@ -180,6 +205,9 @@ func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchRes
 			return nil, fmt.Errorf("eval %s: %s sim: %w", c.Name, name, err)
 		}
 		r.Outcomes[name] = &Outcome{Compiler: name, Result: res, Sim: rep}
+	}
+	if useCache {
+		opt.Cache.Put(c, opt.Config, names, opt.Sim, r)
 	}
 	return r, nil
 }

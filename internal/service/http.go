@@ -1,0 +1,226 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"muzzle"
+)
+
+// Handler returns the muzzled HTTP API over this manager:
+//
+//	POST   /v1/jobs             submit a job (202 + Location)
+//	GET    /v1/jobs/{id}        job snapshot with results
+//	DELETE /v1/jobs/{id}        cancel (200; 409 when already finished)
+//	GET    /v1/jobs/{id}/stream SSE: replayed history + live events
+//	GET    /v1/compilers        registry listing
+//	GET    /healthz             liveness + uptime
+//	GET    /metrics             Prometheus-style text metrics
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", m.handleStream)
+	mux.HandleFunc("GET /v1/compilers", m.handleCompilers)
+	mux.HandleFunc("GET /healthz", m.handleHealthz)
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error body: a stable code plus a human message.
+type apiError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, apiError{Code: code, Error: err.Error()})
+}
+
+// maxRequestBody bounds POST bodies (QASM sources are text; 4 MiB is
+// thousands of times the paper's largest benchmark) so one client cannot
+// exhaust the daemon's memory.
+const maxRequestBody = 4 << 20
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", err)
+		return
+	}
+	view, err := m.Submit(req)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, reqErr.Code, reqErr.Err)
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusServiceUnavailable, "queue_full", err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "shutting_down", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "internal", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := m.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", err)
+	case errors.Is(err, ErrFinished):
+		writeError(w, http.StatusConflict, "already_finished", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "internal", err)
+	default:
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
+	history, live, stop, err := m.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	defer stop()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "no_stream",
+			errors.New("service: response writer does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Kind, ev.Seq, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range history {
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				return // terminal event delivered; stream complete
+			}
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (m *Manager) handleCompilers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"compilers": muzzle.CompilerCatalog()})
+}
+
+func (m *Manager) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	met := m.MetricsSnapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": met.UptimeSeconds,
+		"workers":        met.Workers,
+		"jobs_submitted": met.JobsSubmitted,
+	})
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format (hand-rolled: the repo takes no dependencies).
+func (m *Manager) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	met := m.MetricsSnapshot()
+	var b strings.Builder
+	b.WriteString("# HELP muzzled_uptime_seconds Seconds since the service started.\n")
+	b.WriteString("# TYPE muzzled_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "muzzled_uptime_seconds %g\n", met.UptimeSeconds)
+
+	b.WriteString("# HELP muzzled_jobs_submitted_total Jobs accepted since start.\n")
+	b.WriteString("# TYPE muzzled_jobs_submitted_total counter\n")
+	fmt.Fprintf(&b, "muzzled_jobs_submitted_total %d\n", met.JobsSubmitted)
+
+	b.WriteString("# HELP muzzled_jobs Jobs currently tracked, by state.\n")
+	b.WriteString("# TYPE muzzled_jobs gauge\n")
+	for _, s := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(&b, "muzzled_jobs{state=%q} %d\n", string(s), met.JobsByState[s])
+	}
+
+	if met.Cache != nil {
+		b.WriteString("# HELP muzzled_cache_hits_total Compile-cache hits (memory + disk).\n")
+		b.WriteString("# TYPE muzzled_cache_hits_total counter\n")
+		fmt.Fprintf(&b, "muzzled_cache_hits_total %d\n", met.Cache.Hits)
+		b.WriteString("# HELP muzzled_cache_misses_total Compile-cache misses.\n")
+		b.WriteString("# TYPE muzzled_cache_misses_total counter\n")
+		fmt.Fprintf(&b, "muzzled_cache_misses_total %d\n", met.Cache.Misses)
+		b.WriteString("# HELP muzzled_cache_disk_hits_total Hits served from the disk tier.\n")
+		b.WriteString("# TYPE muzzled_cache_disk_hits_total counter\n")
+		fmt.Fprintf(&b, "muzzled_cache_disk_hits_total %d\n", met.Cache.DiskHits)
+		b.WriteString("# HELP muzzled_cache_evictions_total In-memory LRU evictions.\n")
+		b.WriteString("# TYPE muzzled_cache_evictions_total counter\n")
+		fmt.Fprintf(&b, "muzzled_cache_evictions_total %d\n", met.Cache.Evictions)
+		b.WriteString("# HELP muzzled_cache_entries In-memory cache entries.\n")
+		b.WriteString("# TYPE muzzled_cache_entries gauge\n")
+		fmt.Fprintf(&b, "muzzled_cache_entries %d\n", met.Cache.Entries)
+	}
+
+	h := met.CompileLatency
+	b.WriteString("# HELP muzzled_compile_latency_seconds Per-circuit evaluation wall time (compile + simulate across the compiler set; cache hits land in the lowest buckets).\n")
+	b.WriteString("# TYPE muzzled_compile_latency_seconds histogram\n")
+	for i, ub := range h.Buckets {
+		fmt.Fprintf(&b, "muzzled_compile_latency_seconds_bucket{le=%q} %d\n",
+			fmt.Sprintf("%g", ub), h.Cumulative[i])
+	}
+	fmt.Fprintf(&b, "muzzled_compile_latency_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
+	fmt.Fprintf(&b, "muzzled_compile_latency_seconds_sum %g\n", h.Sum)
+	fmt.Fprintf(&b, "muzzled_compile_latency_seconds_count %d\n", h.Count)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String())) //nolint:errcheck
+}

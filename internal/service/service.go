@@ -1,0 +1,624 @@
+// Package service is the compilation service behind cmd/muzzled: a job
+// manager that absorbs compile/evaluate requests into a bounded worker
+// pool backed by muzzle.Pipeline, tracks each job through
+// pending/running/done/failed/canceled, supports per-job cancellation via
+// the Pipeline's context plumbing, and broadcasts per-circuit progress
+// events that the HTTP layer (http.go) streams to clients as SSE.
+//
+// A Manager owns nothing global: compilers resolve from the process-wide
+// registry, results flow through the shared content-addressed cache when
+// one is configured, and every job runs on its own Pipeline built from the
+// manager's base options plus the request's overrides — the same code path
+// the CLI uses, so CLI and service outputs are interchangeable.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"muzzle"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states. Terminal states are done, failed, and canceled.
+const (
+	StatePending  State = "pending"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors of the manager API.
+var (
+	// ErrNotFound marks an unknown job id.
+	ErrNotFound = errors.New("service: job not found")
+	// ErrFinished marks a cancel of an already-terminal job.
+	ErrFinished = errors.New("service: job already finished")
+	// ErrQueueFull marks a submit rejected by the bounded queue.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed marks a submit after Close.
+	ErrClosed = errors.New("service: manager closed")
+)
+
+// RequestError is a submit-time validation failure (HTTP 400). Code is a
+// stable machine-readable slug ("unknown_compiler", "bad_request", ...).
+type RequestError struct {
+	Code string
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *RequestError) Error() string { return fmt.Sprintf("service: %s: %v", e.Code, e.Err) }
+
+// Unwrap exposes the cause.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+func badRequest(code, format string, args ...any) *RequestError {
+	return &RequestError{Code: code, Err: fmt.Errorf(format, args...)}
+}
+
+// RandomRequest asks for the pipeline's random benchmark suite.
+type RandomRequest struct {
+	// Limit evaluates only the first N suite circuits (0 = the full 120).
+	Limit int `json:"limit,omitempty"`
+	// Seed, when set, re-seeds the suite (WithRandomSeed); nil preserves
+	// the paper's circuits.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// Request is one compile/evaluate job: exactly one source — inline
+// OpenQASM or the named random suite — plus optional compiler and timeout
+// overrides.
+type Request struct {
+	// Name labels the job's circuit when QASM is set (default "qasm").
+	// The name is part of the compile-cache key, so identical sources
+	// submitted under the same name share cache entries.
+	Name string `json:"name,omitempty"`
+	// QASM is inline OpenQASM 2.0 source.
+	QASM string `json:"qasm,omitempty"`
+	// Random requests the random benchmark suite instead.
+	Random *RandomRequest `json:"random,omitempty"`
+	// Compilers overrides the evaluation compiler set (registry names;
+	// default "baseline","optimized").
+	Compilers []string `json:"compilers,omitempty"`
+	// TimeoutMS bounds the job's run; 0 means no per-job timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Event is one progress notification of a job, replayed to late
+// subscribers in order. Kind "state" carries a lifecycle transition; kind
+// "circuit" carries one per-circuit outcome (Result on success, Error on
+// failure).
+type Event struct {
+	Seq     int                    `json:"seq"`
+	Kind    string                 `json:"kind"`
+	JobID   string                 `json:"job_id"`
+	State   State                  `json:"state,omitempty"`
+	Index   int                    `json:"index,omitempty"`
+	Circuit string                 `json:"circuit,omitempty"`
+	Result  *muzzle.EvalResultJSON `json:"result,omitempty"`
+	Error   string                 `json:"error,omitempty"`
+	Done    int                    `json:"done"`
+	Total   int                    `json:"total"`
+}
+
+// Event kinds.
+const (
+	EventState   = "state"
+	EventCircuit = "circuit"
+)
+
+// JobView is the externally visible snapshot of a job (GET /v1/jobs/{id}).
+type JobView struct {
+	ID            string                   `json:"id"`
+	State         State                    `json:"state"`
+	Source        string                   `json:"source"`
+	Compilers     []string                 `json:"compilers,omitempty"`
+	Created       time.Time                `json:"created"`
+	Started       *time.Time               `json:"started,omitempty"`
+	Finished      *time.Time               `json:"finished,omitempty"`
+	CircuitsTotal int                      `json:"circuits_total"`
+	CircuitsDone  int                      `json:"circuits_done"`
+	Error         string                   `json:"error,omitempty"`
+	Results       []*muzzle.EvalResultJSON `json:"results,omitempty"`
+}
+
+// job is the manager's internal record. Its mutable fields are guarded by
+// mu; the manager's map lock is never held while mu is.
+type job struct {
+	id   string
+	req  Request
+	circ *muzzle.Circuit // parsed QASM source (nil for random jobs)
+
+	mu          sync.Mutex
+	state       State
+	created     time.Time
+	started     *time.Time
+	finished    *time.Time
+	total, done int
+	errText     string
+	results     []*muzzle.EvalResultJSON
+	events      []Event
+	subs        map[chan Event]struct{}
+	cancel      context.CancelFunc
+}
+
+// Config assembles a Manager.
+type Config struct {
+	// Workers sizes the worker pool (default 2). Each worker runs one job
+	// at a time; per-job circuit parallelism is set via PipelineOptions.
+	Workers int
+	// QueueDepth bounds pending jobs (default 256); submits beyond it
+	// fail with ErrQueueFull rather than blocking the caller.
+	QueueDepth int
+	// JobRetention bounds how many terminal (done/failed/canceled) jobs
+	// stay queryable (default 1024). Beyond it the oldest-finished jobs —
+	// results and event history included — are dropped and their ids
+	// return 404, keeping a long-lived daemon's memory bounded.
+	JobRetention int
+	// Cache, when non-nil, is shared by every job's pipeline (and its
+	// counters are exported via Metrics and /metrics).
+	Cache *muzzle.Cache
+	// PipelineOptions are the base options of every job's pipeline
+	// (machine, sim params, parallelism, ...); the request's compiler,
+	// seed, and limit overrides are appended after them.
+	PipelineOptions []muzzle.PipelineOption
+}
+
+// Manager owns the job table, the bounded queue, and the worker pool.
+type Manager struct {
+	cfg     Config
+	start   time.Time
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	terminal  []string // terminal job ids, oldest first, for retention
+	closed    bool
+	submitted uint64
+
+	latency *Histogram
+}
+
+// New starts a Manager and its workers.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.JobRetention <= 0 {
+		cfg.JobRetention = 1024
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		start:   time.Now(),
+		baseCtx: ctx,
+		stop:    stop,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		latency: NewHistogram(DefaultLatencyBuckets()),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.run(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Close stops accepting jobs, cancels everything in flight, and waits for
+// the workers. Queued jobs drain as canceled.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// newJobID returns a 96-bit random hex id.
+func newJobID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: crypto/rand failed: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates a request, enqueues the job, and returns its initial
+// view. Validation failures are *RequestError (the HTTP layer maps them to
+// 400); a full queue is ErrQueueFull (503).
+func (m *Manager) Submit(req Request) (JobView, error) {
+	j := &job{
+		id:      newJobID(),
+		req:     req,
+		state:   StatePending,
+		created: time.Now(),
+		subs:    make(map[chan Event]struct{}),
+	}
+	switch {
+	case req.QASM != "" && req.Random != nil:
+		return JobView{}, badRequest("bad_request", "request must set exactly one of qasm/random, not both")
+	case req.QASM == "" && req.Random == nil:
+		return JobView{}, badRequest("bad_request", "request must set one of qasm/random")
+	case req.QASM != "":
+		name := req.Name
+		if name == "" {
+			name = "qasm"
+		}
+		c, err := muzzle.ParseQASM(name, req.QASM)
+		if err != nil {
+			return JobView{}, &RequestError{Code: "bad_qasm", Err: err}
+		}
+		j.circ = c
+	default:
+		if req.Random.Limit < 0 {
+			return JobView{}, badRequest("bad_request", "random.limit %d must be >= 0", req.Random.Limit)
+		}
+	}
+	seen := make(map[string]bool, len(req.Compilers))
+	for _, name := range req.Compilers {
+		if !muzzle.HasCompiler(name) {
+			return JobView{}, badRequest("unknown_compiler",
+				"compiler %q is not registered (registered: %v)", name, muzzle.RegisteredCompilers())
+		}
+		if seen[name] {
+			return JobView{}, badRequest("bad_request", "compiler %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	if req.TimeoutMS < 0 {
+		return JobView{}, badRequest("bad_request", "timeout_ms %d must be >= 0", req.TimeoutMS)
+	}
+
+	// Record the pending event before the job becomes visible to workers,
+	// so the replayed history is always in lifecycle order even when a
+	// worker dequeues and starts the job immediately.
+	j.emit(Event{Kind: EventState, State: StatePending})
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobView{}, ErrClosed
+	}
+	select {
+	case m.queue <- j:
+		m.jobs[j.id] = j
+		m.submitted++
+		m.mu.Unlock()
+	default:
+		m.mu.Unlock()
+		return JobView{}, ErrQueueFull
+	}
+	return m.view(j), nil
+}
+
+// Get returns a job snapshot.
+func (m *Manager) Get(id string) (JobView, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	return m.view(j), nil
+}
+
+// Cancel requests cooperative cancellation: a pending job is canceled in
+// place, a running one has its context canceled and drains promptly; a
+// terminal job reports ErrFinished.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return m.view(j), ErrFinished
+	case j.state == StatePending:
+		now := time.Now()
+		j.state = StateCanceled
+		j.finished = &now
+		j.emitLocked(Event{Kind: EventState, State: StateCanceled})
+		j.mu.Unlock()
+		m.retain(j.id)
+	default: // running; j.cancel was set in the same critical section
+		// that published the running state, so it is non-nil here.
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+	}
+	return m.view(j), nil
+}
+
+// Subscribe returns the job's event history so far plus a live channel for
+// what follows; the channel is closed (possibly immediately) once the job
+// is terminal. Call the returned stop function when done listening.
+func (m *Manager) Subscribe(id string) (history []Event, live <-chan Event, stopFn func(), err error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history = append([]Event(nil), j.events...)
+	ch := make(chan Event, 4096)
+	if j.state.Terminal() {
+		close(ch)
+		return history, ch, func() {}, nil
+	}
+	j.subs[ch] = struct{}{}
+	stopFn = func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+	return history, ch, stopFn, nil
+}
+
+// Metrics is the observable state of the service.
+type Metrics struct {
+	UptimeSeconds  float64            `json:"uptime_seconds"`
+	Workers        int                `json:"workers"`
+	JobsSubmitted  uint64             `json:"jobs_submitted"`
+	JobsByState    map[State]int      `json:"jobs_by_state"`
+	Cache          *muzzle.CacheStats `json:"cache,omitempty"`
+	CompileLatency HistogramSnapshot  `json:"compile_latency_seconds"`
+}
+
+// MetricsSnapshot collects the current counters.
+func (m *Manager) MetricsSnapshot() Metrics {
+	out := Metrics{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Workers:       m.cfg.Workers,
+		JobsByState: map[State]int{
+			StatePending: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCanceled: 0,
+		},
+		CompileLatency: m.latency.Snapshot(),
+	}
+	m.mu.Lock()
+	out.JobsSubmitted = m.submitted
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		out.JobsByState[j.state]++
+		j.mu.Unlock()
+	}
+	if m.cfg.Cache != nil {
+		s := m.cfg.Cache.Stats()
+		out.Cache = &s
+	}
+	return out
+}
+
+func (m *Manager) lookup(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+func (m *Manager) view(j *job) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:            j.id,
+		State:         j.state,
+		Source:        "qasm",
+		Compilers:     append([]string(nil), j.req.Compilers...),
+		Created:       j.created,
+		Started:       j.started,
+		Finished:      j.finished,
+		CircuitsTotal: j.total,
+		CircuitsDone:  j.done,
+		Error:         j.errText,
+		Results:       append([]*muzzle.EvalResultJSON(nil), j.results...),
+	}
+	if j.req.Random != nil {
+		v.Source = "random"
+	}
+	return v
+}
+
+// emit assigns a sequence number, records the event for replay, and
+// broadcasts it. Terminal state events close every subscriber. Slow
+// subscribers (a full 4096-event buffer) drop events rather than wedge the
+// worker; the replayed history on reconnect is always complete.
+func (j *job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(ev)
+}
+
+// emitLocked is emit with j.mu already held — used where a state change
+// and its event must be visible atomically to Subscribe.
+func (j *job) emitLocked(ev Event) {
+	ev.JobID = j.id
+	ev.Seq = len(j.events)
+	ev.Done = j.done
+	ev.Total = j.total
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	if ev.Kind == EventState && ev.State.Terminal() {
+		for ch := range j.subs {
+			close(ch)
+			delete(j.subs, ch)
+		}
+	}
+}
+
+// run executes one dequeued job on the calling worker.
+func (m *Manager) run(j *job) {
+	j.mu.Lock()
+	if j.state != StatePending { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	j.state = StateRunning
+	j.started = &now
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, time.Duration(j.req.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	p, circuits, err := m.buildPipeline(j)
+	if err != nil {
+		m.finish(j, StateFailed, err.Error())
+		return
+	}
+	j.mu.Lock()
+	j.total = len(circuits)
+	j.mu.Unlock()
+	j.emit(Event{Kind: EventState, State: StateRunning})
+
+	failures := 0
+	for item := range p.EvaluateStream(ctx, circuits) {
+		if item.Err != nil {
+			failures++
+			j.emit(Event{Kind: EventCircuit, Index: item.Index, Circuit: item.Circuit,
+				Error: item.Err.Error()})
+			continue
+		}
+		res := muzzle.EncodeEvalResult(item.Result)
+		j.mu.Lock()
+		j.done++
+		j.results = append(j.results, res)
+		j.mu.Unlock()
+		j.emit(Event{Kind: EventCircuit, Index: item.Index, Circuit: item.Circuit, Result: res})
+	}
+
+	switch {
+	case ctx.Err() == context.DeadlineExceeded:
+		m.finish(j, StateFailed, fmt.Sprintf("timed out after %dms", j.req.TimeoutMS))
+	case ctx.Err() != nil:
+		m.finish(j, StateCanceled, "")
+	case failures > 0:
+		m.finish(j, StateFailed, fmt.Sprintf("%d of %d circuits failed", failures, len(circuits)))
+	default:
+		m.finish(j, StateDone, "")
+	}
+}
+
+// buildPipeline assembles the job's pipeline — base options, shared cache,
+// request overrides, and the latency-observing progress hook — plus the
+// circuit list it will evaluate.
+func (m *Manager) buildPipeline(j *job) (*muzzle.Pipeline, []*muzzle.Circuit, error) {
+	opts := append([]muzzle.PipelineOption(nil), m.cfg.PipelineOptions...)
+	if m.cfg.Cache != nil {
+		opts = append(opts, muzzle.WithCache(m.cfg.Cache))
+	}
+	if len(j.req.Compilers) > 0 {
+		opts = append(opts, muzzle.WithCompilers(j.req.Compilers...))
+	}
+	if j.req.Random != nil {
+		if j.req.Random.Seed != nil {
+			opts = append(opts, muzzle.WithRandomSeed(*j.req.Random.Seed))
+		}
+		if j.req.Random.Limit > 0 {
+			opts = append(opts, muzzle.WithRandomLimit(j.req.Random.Limit))
+		}
+	}
+	// Per-circuit latency: wall time from pickup to completion (compile +
+	// simulate for every compiler of the set; cache hits land in the
+	// lowest buckets). The eval harness never runs the callback
+	// concurrently with itself, so the map needs no lock.
+	starts := make(map[int]time.Time)
+	opts = append(opts, muzzle.WithProgress(func(ev muzzle.EvalEvent) {
+		switch ev.Kind {
+		case muzzle.EvalStarted:
+			starts[ev.Index] = time.Now()
+		case muzzle.EvalCompleted, muzzle.EvalFailed:
+			if t0, ok := starts[ev.Index]; ok {
+				m.latency.Observe(time.Since(t0).Seconds())
+				delete(starts, ev.Index)
+			}
+		}
+	}))
+	p, err := muzzle.NewPipeline(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.circ != nil {
+		return p, []*muzzle.Circuit{j.circ}, nil
+	}
+	return p, p.RandomCircuits(), nil
+}
+
+// finish records the terminal state and emits the closing event.
+func (m *Manager) finish(j *job, state State, errText string) {
+	now := time.Now()
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.finished = &now
+	j.errText = errText
+	j.emitLocked(Event{Kind: EventState, State: state, Error: errText})
+	j.mu.Unlock()
+	m.retain(j.id)
+}
+
+// retain records a terminal job and drops the oldest-finished jobs beyond
+// the retention cap so the job table cannot grow without bound.
+func (m *Manager) retain(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.terminal = append(m.terminal, id)
+	for len(m.terminal) > m.cfg.JobRetention {
+		delete(m.jobs, m.terminal[0])
+		m.terminal = m.terminal[1:]
+	}
+}

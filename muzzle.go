@@ -37,6 +37,16 @@
 // alongside an errors.Join of the failures), and report structured *Error
 // values with stable codes at the public boundary.
 //
+// # Caching and the compilation service
+//
+// WithCache installs a content-addressed compile cache (NewCache): results
+// are keyed by a stable hash of circuit content, machine, compiler set,
+// and simulator constants, held in an in-memory LRU with an optional
+// JSON-on-disk tier that survives restarts. cmd/muzzled exposes the same
+// pipeline as an HTTP service — a job queue with a bounded worker pool,
+// per-job cancellation, SSE result streaming, and Prometheus-style
+// metrics — built on internal/service and sharing one cache across jobs.
+//
 // # Deprecated free functions
 //
 // The original flat-function surface (Compile, CompileBaseline, Evaluate,

@@ -30,6 +30,9 @@ import (
 type Pipeline struct {
 	opt     eval.Options
 	primary string
+	// randomSeed, when set, overrides the random-suite seed regardless of
+	// the order WithRandomSeed and WithRandomSuite were applied in.
+	randomSeed *int64
 }
 
 // PipelineOption configures a Pipeline under construction. Options report
@@ -54,6 +57,9 @@ func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
 	}
 	if p.primary == "" {
 		p.primary = p.defaultPrimary()
+	}
+	if p.randomSeed != nil {
+		p.opt.Random.Seed = *p.randomSeed
 	}
 	return p, nil
 }
@@ -146,12 +152,22 @@ func WithParallelism(n int) PipelineOption {
 }
 
 // WithProgress installs a typed progress callback receiving one EvalEvent
-// per circuit start, completion, and failure during evaluation runs. The
-// callback is never invoked concurrently with itself.
+// per circuit start, completion, and failure during evaluation runs.
+// Multiple WithProgress options compose: every callback receives every
+// event, in the order the options were given (the muzzled service relies
+// on this to add its latency observer next to an operator's hook).
+// Callbacks are never invoked concurrently with themselves.
 func WithProgress(fn func(EvalEvent)) PipelineOption {
 	return func(p *Pipeline) error {
 		if fn == nil {
 			return newErrorf(ErrBadOption, "WithProgress", "callback must not be nil")
+		}
+		if prev := p.opt.OnEvent; prev != nil {
+			p.opt.OnEvent = func(ev EvalEvent) {
+				prev(ev)
+				fn(ev)
+			}
+			return nil
 		}
 		p.opt.OnEvent = fn
 		return nil
@@ -163,6 +179,18 @@ func WithProgress(fn func(EvalEvent)) PipelineOption {
 func WithRandomSuite(params RandomSuiteParams) PipelineOption {
 	return func(p *Pipeline) error {
 		p.opt.Random = params
+		return nil
+	}
+}
+
+// WithRandomSeed re-seeds the random benchmark suite so callers can draw
+// reproducible variant suites; the default (and a seed equal to
+// DefaultRandomSuiteParams().Seed) preserves the paper's 120 circuits
+// exactly. The seed applies to the suite params in effect when the
+// pipeline is built, so it composes with WithRandomSuite in either order.
+func WithRandomSeed(seed int64) PipelineOption {
+	return func(p *Pipeline) error {
+		p.randomSeed = &seed
 		return nil
 	}
 }

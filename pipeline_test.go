@@ -367,3 +367,143 @@ func TestPipelinePartialFailure(t *testing.T) {
 		t.Errorf("got %d partial results, want 2", len(results))
 	}
 }
+
+func TestWithRandomSeed(t *testing.T) {
+	base, err := NewPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default seed reproduces the paper's suite exactly.
+	paperSeed, err := NewPipeline(WithRandomSeed(DefaultRandomSuiteParams().Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := base.RandomCircuits(), paperSeed.RandomCircuits()
+	if len(want) != len(got) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Name != got[i].Name {
+			t.Fatalf("circuit %d: %q vs %q under the paper seed", i, want[i].Name, got[i].Name)
+		}
+	}
+	// A different seed draws a different (but same-shape) suite,
+	// reproducibly.
+	alt1, err := NewPipeline(WithRandomSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt2, err := NewPipeline(WithRandomSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := alt1.RandomCircuits(), alt2.RandomCircuits()
+	if len(a1) != 120 {
+		t.Fatalf("re-seeded suite has %d circuits, want 120", len(a1))
+	}
+	same := true
+	for i := range a1 {
+		if a1[i].Name != a2[i].Name {
+			t.Fatalf("seed 7 not reproducible at circuit %d", i)
+		}
+		if a1[i].Name != want[i].Name {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seed 7 drew the paper suite; seeds have no effect")
+	}
+	// WithRandomSeed wins regardless of option order around
+	// WithRandomSuite.
+	params := DefaultRandomSuiteParams()
+	params.Seed = 99
+	before, err := NewPipeline(WithRandomSeed(7), WithRandomSuite(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.RandomCircuits()[0].Name != a1[0].Name {
+		t.Error("WithRandomSeed applied before WithRandomSuite was overridden")
+	}
+}
+
+func TestWithCachePipeline(t *testing.T) {
+	cache, err := NewCache(CacheConfig{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(WithMachine(testMachine()), WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := RandomCircuit(12, 60, 5)
+	first, err := p.EvaluateCircuit(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first run: %+v, want 1 miss", s)
+	}
+	second, err := p.EvaluateCircuit(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 {
+		t.Fatalf("after second run: %+v, want 1 hit", s)
+	}
+	if first != second {
+		t.Error("cache hit should return the identical result")
+	}
+	// A different circuit misses.
+	if _, err := p.EvaluateCircuit(context.Background(), RandomCircuit(12, 60, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Misses != 2 {
+		t.Fatalf("different circuit should miss: %+v", s)
+	}
+	// A custom mapper bypasses the cache entirely.
+	pm, err := NewPipeline(WithMachine(testMachine()), WithCache(cache), WithMapper(RoundRobinMapper{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.EvaluateCircuit(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("mapper run should not touch the cache: %+v", s)
+	}
+	if err := func() error {
+		_, err := NewPipeline(WithCache(nil))
+		return err
+	}(); err == nil {
+		t.Error("WithCache(nil) should fail")
+	}
+}
+
+// TestWithProgressComposes: multiple WithProgress options all receive
+// every event, in option order.
+func TestWithProgressComposes(t *testing.T) {
+	var order []string
+	p, err := NewPipeline(
+		WithMachine(testMachine()),
+		WithProgress(func(ev EvalEvent) {
+			if ev.Kind == EvalCompleted {
+				order = append(order, "first")
+			}
+		}),
+		WithProgress(func(ev EvalEvent) {
+			if ev.Kind == EvalCompleted {
+				order = append(order, "second")
+			}
+		}),
+		WithParallelism(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Evaluate(context.Background(), []*Circuit{RandomCircuit(8, 20, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("callback order = %v, want [first second]", order)
+	}
+}

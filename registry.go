@@ -3,6 +3,7 @@ package muzzle
 import (
 	"errors"
 
+	"muzzle/internal/eval"
 	"muzzle/internal/registry"
 )
 
@@ -49,6 +50,39 @@ func MustRegisterCompiler(name string, factory CompilerFactory) {
 
 // RegisteredCompilers returns every registered compiler name, sorted.
 func RegisteredCompilers() []string { return registry.Names() }
+
+// CompilerInfo describes one registry entry, as listed by CompilerCatalog
+// and the muzzled service's GET /v1/compilers.
+type CompilerInfo struct {
+	// Name is the registry name usable with WithCompilers.
+	Name string `json:"name"`
+	// Builtin marks the two pre-registered compilers of the paper's
+	// evaluation ("baseline", "optimized").
+	Builtin bool `json:"builtin"`
+	// Default marks membership in the default evaluation pair a
+	// zero-option Pipeline compares.
+	Default bool `json:"default"`
+}
+
+// CompilerCatalog returns every registered compiler with its role flags,
+// sorted by name. Default is derived from the actual default evaluation
+// set, so it tracks any future change to the zero-option pair.
+func CompilerCatalog() []CompilerInfo {
+	defaults := make(map[string]bool)
+	for _, n := range eval.DefaultCompilers() {
+		defaults[n] = true
+	}
+	names := registry.Names()
+	out := make([]CompilerInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, CompilerInfo{
+			Name:    n,
+			Builtin: n == registry.Baseline || n == registry.Optimized,
+			Default: defaults[n],
+		})
+	}
+	return out
+}
 
 // HasCompiler reports whether a compiler name is registered.
 func HasCompiler(name string) bool { return registry.Has(name) }
