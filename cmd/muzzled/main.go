@@ -16,6 +16,7 @@
 //	-parallelism N   concurrent circuit evaluations per job (0 = one per CPU)
 //	-cache N         in-memory compile-cache entries (default 1024; 0 disables)
 //	-cache-dir DIR   persist cache entries as JSON under DIR (survives restarts)
+//	-pprof ADDR      serve net/http/pprof on ADDR (empty disables)
 //	-traps N         traps in the linear topology (default 6)
 //	-capacity N      total trap capacity (default 17)
 //	-comm N          communication capacity (default 2)
@@ -42,6 +43,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,7 +70,21 @@ func run() error {
 	traps := flag.Int("traps", 6, "number of traps in the linear topology")
 	capacity := flag.Int("capacity", 17, "total trap capacity")
 	comm := flag.Int("comm", 2, "communication capacity")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	// Live profiling of the compile hot paths. The profiler runs on its own
+	// listener (the default mux, where the blank pprof import registers its
+	// handlers) so the job API surface never exposes debug endpoints; it is
+	// entirely off unless -pprof is given.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var cache *muzzle.Cache
 	if *cacheEntries > 0 {

@@ -44,6 +44,14 @@ func (ExcessCapacityDirection) Choose(ctx *compiler.Context, gateIdx, qa, qb int
 	}
 }
 
+// ChooseWindowed implements compiler.WindowedDirection. Listing 1 never
+// looks at future gates, so the windowed form is Choose with no view at
+// all — which lets the engine skip materializing the lookahead slice
+// entirely when the baseline compiler runs on the indexed path.
+func (d ExcessCapacityDirection) ChooseWindowed(ctx *compiler.Context, gateIdx, qa, qb int, _ compiler.Window) (int, int) {
+	return d.Choose(ctx, gateIdx, qa, qb, nil)
+}
+
 // FirstFitRebalancer resolves traffic blocks the way the paper describes
 // QCCDSim's logic: "the search for a destination trap always starts with
 // T0" (Section III-C1). It is implemented as a 1-supply min-cost-max-flow
@@ -70,7 +78,7 @@ func (FirstFitRebalancer) Choose(ctx *compiler.Context, blocked int, remaining [
 			if t == blocked || st.ExcessCapacity(t) <= 0 {
 				continue
 			}
-			if skipAvoided && compiler.InAvoid(avoid, t) {
+			if skipAvoided && ctx.Avoided(avoid, t) {
 				continue
 			}
 			if needClearPath && !compiler.PathClear(st, blocked, t) {
@@ -133,6 +141,13 @@ func (FirstFitRebalancer) Choose(ctx *compiler.Context, blocked int, remaining [
 		}
 	}
 	return ion, dest, nil
+}
+
+// ChooseWindowed implements compiler.WindowedRebalancer. The trap-0-first
+// search never consults the remaining view, so the windowed form simply
+// forwards to Choose with none.
+func (r FirstFitRebalancer) ChooseWindowed(ctx *compiler.Context, blocked int, _ compiler.Window, avoid []int) (int, int, error) {
+	return r.Choose(ctx, blocked, nil, avoid)
 }
 
 // New returns the baseline QCCDSim-style compiler: excess-capacity

@@ -129,6 +129,56 @@ type Circuit struct {
 	NumQubits int
 	// Gates is the program order.
 	Gates []Gate
+
+	// intArena and f64Arena are block allocators for gate operand and
+	// parameter storage. Builder methods (Add1Q, Add2Q, ...) carve each
+	// gate's Qubits/Params out of a shared block instead of allocating a
+	// fresh slice per gate, which on large circuits (QFT-64 decomposes to
+	// ~20k gates) removes one heap object per gate from the compile path.
+	// Blocks are never grown in place, so handed-out sub-slices stay valid.
+	intArena []int
+	f64Arena []float64
+}
+
+// arenaBlock is the allocation granularity of the operand/param arenas.
+const arenaBlock = 2048
+
+// allocInts returns a zeroed int slice of length k carved from the arena.
+// The slice has full capacity k, so appends by the caller cannot bleed into
+// neighboring gates' storage.
+func (c *Circuit) allocInts(k int) []int {
+	if k > arenaBlock {
+		return make([]int, k)
+	}
+	if cap(c.intArena)-len(c.intArena) < k {
+		c.intArena = make([]int, 0, arenaBlock)
+	}
+	n := len(c.intArena)
+	c.intArena = c.intArena[:n+k]
+	return c.intArena[n : n+k : n+k]
+}
+
+// allocFloats is allocInts for float64 parameter storage.
+func (c *Circuit) allocFloats(k int) []float64 {
+	if k > arenaBlock {
+		return make([]float64, k)
+	}
+	if cap(c.f64Arena)-len(c.f64Arena) < k {
+		c.f64Arena = make([]float64, 0, arenaBlock)
+	}
+	n := len(c.f64Arena)
+	c.f64Arena = c.f64Arena[:n+k]
+	return c.f64Arena[n : n+k : n+k]
+}
+
+// arenaParams copies params into arena storage; empty params share nil.
+func (c *Circuit) arenaParams(params []float64) []float64 {
+	if len(params) == 0 {
+		return nil
+	}
+	ps := c.allocFloats(len(params))
+	copy(ps, params)
+	return ps
 }
 
 // New returns an empty circuit over n qubits.
@@ -141,15 +191,20 @@ func (c *Circuit) Append(g Gate) error {
 	if len(g.Qubits) == 0 {
 		return fmt.Errorf("circuit %q: gate %q has no operands", c.Name, g.Name)
 	}
-	seen := make(map[int]bool, len(g.Qubits))
-	for _, q := range g.Qubits {
+	dupOK := g.Name == "barrier"
+	for i, q := range g.Qubits {
 		if q < 0 || q >= c.NumQubits {
 			return fmt.Errorf("circuit %q: gate %q operand q[%d] outside register of size %d", c.Name, g.Name, q, c.NumQubits)
 		}
-		if seen[q] && g.Name != "barrier" {
-			return fmt.Errorf("circuit %q: gate %q repeats operand q[%d]", c.Name, g.Name, q)
+		if !dupOK {
+			// Operand lists are tiny (1-3 qubits outside barriers), so a
+			// quadratic scan beats a per-gate map allocation.
+			for _, prev := range g.Qubits[:i] {
+				if prev == q {
+					return fmt.Errorf("circuit %q: gate %q repeats operand q[%d]", c.Name, g.Name, q)
+				}
+			}
 		}
-		seen[q] = true
 	}
 	c.Gates = append(c.Gates, g)
 	return nil
@@ -163,14 +218,28 @@ func (c *Circuit) MustAppend(g Gate) {
 	}
 }
 
-// Add1Q appends a single-qubit gate.
+// Add1Q appends a single-qubit gate. Operands and params are copied into the
+// circuit's arena, so the call allocates no per-gate slices.
 func (c *Circuit) Add1Q(name string, q int, params ...float64) {
-	c.MustAppend(Gate{Name: name, Qubits: []int{q}, Params: params})
+	qs := c.allocInts(1)
+	qs[0] = q
+	c.MustAppend(Gate{Name: name, Qubits: qs, Params: c.arenaParams(params)})
 }
 
-// Add2Q appends a two-qubit gate.
+// Add2Q appends a two-qubit gate. Operands and params are copied into the
+// circuit's arena, so the call allocates no per-gate slices.
 func (c *Circuit) Add2Q(name string, a, b int, params ...float64) {
-	c.MustAppend(Gate{Name: name, Qubits: []int{a, b}, Params: params})
+	qs := c.allocInts(2)
+	qs[0], qs[1] = a, b
+	c.MustAppend(Gate{Name: name, Qubits: qs, Params: c.arenaParams(params)})
+}
+
+// AddCopy appends a gate whose operand and parameter slices are copied into
+// the circuit's arena; the caller keeps ownership of the argument slices.
+func (c *Circuit) AddCopy(name string, qubits []int, params []float64) error {
+	qs := c.allocInts(len(qubits))
+	copy(qs, qubits)
+	return c.Append(Gate{Name: name, Qubits: qs, Params: c.arenaParams(params)})
 }
 
 // Count2Q returns the number of two-qubit gates.
@@ -264,15 +333,18 @@ func (c *Circuit) Validate() error {
 		if len(g.Qubits) == 0 {
 			return fmt.Errorf("circuit %q: gate %d (%q) has no operands", c.Name, i, g.Name)
 		}
-		seen := make(map[int]bool, len(g.Qubits))
-		for _, q := range g.Qubits {
+		dupOK := g.Name == "barrier"
+		for j, q := range g.Qubits {
 			if q < 0 || q >= c.NumQubits {
 				return fmt.Errorf("circuit %q: gate %d (%q) operand q[%d] outside register of size %d", c.Name, i, g.Name, q, c.NumQubits)
 			}
-			if seen[q] && g.Name != "barrier" {
-				return fmt.Errorf("circuit %q: gate %d (%q) repeats operand q[%d]", c.Name, i, g.Name, q)
+			if !dupOK {
+				for _, prev := range g.Qubits[:j] {
+					if prev == q {
+						return fmt.Errorf("circuit %q: gate %d (%q) repeats operand q[%d]", c.Name, i, g.Name, q)
+					}
+				}
 			}
-			seen[q] = true
 		}
 	}
 	return nil

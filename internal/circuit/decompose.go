@@ -29,6 +29,13 @@ func IsNative(name string) bool {
 // Unknown mnemonics produce an error. The input circuit is not modified.
 func Decompose(c *Circuit) (*Circuit, error) {
 	out := New(c.Name, c.NumQubits)
+	// Pre-size the gate list from the known expansion factors so large
+	// decompositions don't pay repeated slice-growth copies.
+	est := 0
+	for _, g := range c.Gates {
+		est += nativeCost(g.Name)
+	}
+	out.Gates = make([]Gate, 0, est)
 	for i, g := range c.Gates {
 		if err := decomposeGate(out, g); err != nil {
 			return nil, fmt.Errorf("circuit %q: gate %d: %w", c.Name, i, err)
@@ -54,9 +61,11 @@ func decomposeGate(out *Circuit, g Gate) error {
 	case "ms":
 		out.Add2Q("ms", q[0], q[1], param(0))
 	case "barrier":
-		out.MustAppend(Gate{Name: "barrier", Qubits: append([]int(nil), q...)})
+		if err := out.AddCopy("barrier", q, nil); err != nil {
+			return err
+		}
 	case "measure":
-		out.MustAppend(Gate{Name: "measure", Qubits: []int{q[0]}})
+		out.Add1Q("measure", q[0])
 	case "x":
 		out.Add1Q("r", q[0], math.Pi, 0)
 	case "y":
@@ -151,6 +160,33 @@ func decomposeGate(out *Circuit, g Gate) error {
 		return fmt.Errorf("no native decomposition for gate %q", g.Name)
 	}
 	return nil
+}
+
+// nativeCost returns the exact number of native gates the named gate
+// decomposes into (used to pre-size the output gate list).
+func nativeCost(name string) int {
+	switch name {
+	case "r", "rz", "ms", "barrier", "measure", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry":
+		return 1
+	case "h":
+		return 2
+	case "u", "u3":
+		return 3
+	case "cx":
+		return 5
+	case "cz":
+		return 2*2 + 5
+	case "cp", "cu1":
+		return 3 + 2*5
+	case "rzz":
+		return 1 + 2*5
+	case "swap":
+		return 3 * 5
+	case "ccx":
+		return 2*2 + 6*5 + 7
+	default:
+		return 1
+	}
 }
 
 // MSCost returns the number of MS gates the named gate costs after

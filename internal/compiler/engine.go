@@ -37,6 +37,17 @@ type Compiler struct {
 	MaxReorderChain int
 	// MaxRebalanceDepth caps recursive rebalancing (0 means default).
 	MaxRebalanceDepth int
+	// DisableIndex turns off the future-gate index and runs the engine on
+	// the naive rescan read path (a fresh Remaining2Q slice per co-locate
+	// attempt). The two paths are trace-equivalent by contract; this knob
+	// exists so equivalence tests and benchmarks can pin the naive
+	// reference. Production callers should leave it false.
+	DisableIndex bool
+
+	// verifyIndex makes the engine check the incremental index against a
+	// from-scratch rebuild after every mutation; O(n) per mutation,
+	// test-only (see index_test.go).
+	verifyIndex bool
 }
 
 // Result is the outcome of one compilation.
@@ -137,6 +148,9 @@ func (c *Compiler) CompileMappedContext(ctx context.Context, native *circuit.Cir
 	if st.NumIons() < native.NumQubits {
 		return nil, fmt.Errorf("compiler: placement has %d ions, circuit needs %d", st.NumIons(), native.NumQubits)
 	}
+	// Every gate records at least one trace op and shuttles add a few more;
+	// reserving up front keeps slice-growth copies out of the hot loop.
+	st.ReserveOps(len(native.Gates) + len(native.Gates)/4)
 
 	e := &engine{
 		c:      c,
@@ -178,6 +192,16 @@ type engine struct {
 	cancel context.Context
 	ctx    *Context
 	res    *Result
+	order  []int
+	// remBuf is the reusable backing array for materialized remaining
+	// views handed to policies without an indexed fast path.
+	remBuf []int
+	// protBuf backs ctx.Protected so co-locating a gate allocates nothing.
+	protBuf [2]int
+	// dirWindowed / rebWindowed record whether the configured policies take
+	// Window descriptors directly (resolved once per compile).
+	dirWindowed bool
+	rebWindowed bool
 }
 
 func (e *engine) run(res *Result) error {
@@ -186,6 +210,14 @@ func (e *engine) run(res *Result) error {
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
+	}
+	e.order = order
+	if !e.c.DisableIndex {
+		e.ctx.idx = newFutureIndex(e.ctx, order)
+		e.ctx.protMark = make([]bool, e.st.NumIons())
+		e.ctx.avoidMark = make([]bool, e.st.NumTraps())
+		_, e.dirWindowed = e.c.Direction.(WindowedDirection)
+		_, e.rebWindowed = e.c.Rebalancer.(WindowedRebalancer)
 	}
 	cursor := 0
 	reorderChain := 0
@@ -230,21 +262,49 @@ const maxCoLocateAttempts = 8
 // hoisted=true if, instead of shuttling, a pending gate was re-ordered in
 // front of the active gate (Algorithm 1) — in that case the caller must
 // re-enter the loop without advancing the cursor.
+//
+// On the indexed path (the default) the lookahead view is an O(1) Window
+// descriptor; windowed policies consume it directly and legacy policies get
+// it materialized into a reusable buffer. With DisableIndex the engine runs
+// the original naive rescan, allocating a fresh Remaining2Q slice per
+// attempt — the reference behavior the indexed path is tested against.
 func (e *engine) coLocate(active, qa, qb int, order []int, cursor, reorderChain int) (bool, error) {
-	e.ctx.Protected = []int{qa, qb}
-	defer func() { e.ctx.Protected = nil }()
+	e.setProtected(qa, qb)
+	defer e.clearProtected()
+	hasIdx := e.ctx.idx != nil
 	for attempt := 0; !e.st.CoLocated(qa, qb); attempt++ {
 		if attempt >= maxCoLocateAttempts {
 			return false, fmt.Errorf("could not co-locate ions %d and %d after %d attempts", qa, qb, attempt)
 		}
-		remaining := Remaining2Q(e.ctx, order, cursor, e.c.lookahead(), -1)
-		moveIon, dest := e.c.Direction.Choose(e.ctx, active, qa, qb, remaining)
+		var (
+			remaining []int
+			win       Window
+		)
+		if hasIdx {
+			win = e.ctx.Window(e.c.lookahead(), -1)
+			if !e.dirWindowed || !e.rebWindowed {
+				e.remBuf = e.ctx.AppendWindow(e.remBuf, win)
+				remaining = e.remBuf
+			}
+		} else {
+			remaining = Remaining2Q(e.ctx, order, cursor, e.c.lookahead(), -1)
+		}
+		var moveIon, dest int
+		if hasIdx && e.dirWindowed {
+			moveIon, dest = e.c.Direction.(WindowedDirection).ChooseWindowed(e.ctx, active, qa, qb, win)
+		} else {
+			moveIon, dest = e.c.Direction.Choose(e.ctx, active, qa, qb, remaining)
+		}
 		if err := validateDecision(e.ctx, qa, qb, moveIon, dest); err != nil {
 			return false, err
 		}
 		if attempt == 0 && e.st.IsFull(dest) && e.c.Reorderer != nil && reorderChain < e.c.maxReorderChain() {
 			if pos := e.c.Reorderer.Candidate(e.ctx, order, cursor, dest); pos > cursor {
 				hoist(order, cursor, pos)
+				if hasIdx {
+					e.ctx.idx.hoisted(e.ctx, order, cursor, pos)
+					e.checkIndex(order)
+				}
 				return true, nil
 			}
 		}
@@ -264,18 +324,78 @@ func (e *engine) coLocate(active, qa, qb int, order []int, cursor, reorderChain 
 			}
 		}
 		budget := e.c.maxRebalanceDepth()
-		if err := e.routeWithRebalance(moveIon, dest, remaining, &budget); err != nil {
+		if err := e.routeWithRebalance(moveIon, dest, remaining, win, &budget); err != nil {
 			return false, err
 		}
 	}
 	return false, nil
 }
 
-// finish marks a gate executed and advances the cursor.
+// finish marks a gate executed and advances the cursor, keeping the
+// future-gate index in step.
 func (e *engine) finish(active int, cursor *int, reorderChain *int) {
 	e.ctx.Executed[active] = true
 	*cursor++
 	*reorderChain = 0
+	if idx := e.ctx.idx; idx != nil {
+		idx.executed(e.ctx, active)
+		idx.cursor = *cursor
+		e.checkIndex(e.order)
+	}
+}
+
+// setProtected marks the active gate's operands (backed by a fixed engine
+// buffer plus the O(1) mark bitmap — no per-gate allocation).
+func (e *engine) setProtected(qa, qb int) {
+	e.protBuf[0], e.protBuf[1] = qa, qb
+	e.ctx.Protected = e.protBuf[:2]
+	if e.ctx.protMark != nil {
+		e.ctx.protMark[qa] = true
+		e.ctx.protMark[qb] = true
+	}
+}
+
+func (e *engine) clearProtected() {
+	if e.ctx.protMark != nil {
+		for _, p := range e.ctx.Protected {
+			e.ctx.protMark[p] = false
+		}
+	}
+	e.ctx.Protected = nil
+}
+
+// setAvoid publishes the avoid list into the O(1) mark bitmap; clearAvoid
+// retracts it.
+func (e *engine) setAvoid(avoid []int) {
+	if e.ctx.avoidMark == nil {
+		return
+	}
+	for _, t := range avoid {
+		e.ctx.avoidMark[t] = true
+	}
+	e.ctx.avoidRef = avoid
+}
+
+func (e *engine) clearAvoid() {
+	if e.ctx.avoidMark == nil {
+		return
+	}
+	for _, t := range e.ctx.avoidRef {
+		e.ctx.avoidMark[t] = false
+	}
+	e.ctx.avoidRef = nil
+}
+
+// checkIndex is the verifyIndex test hook: it cross-checks the incremental
+// index against a from-scratch rebuild and panics on divergence (a panic
+// here is always an engine bug; see index_test.go).
+func (e *engine) checkIndex(order []int) {
+	if !e.c.verifyIndex {
+		return
+	}
+	if err := e.ctx.idx.verify(e.ctx, order); err != nil {
+		panic(err)
+	}
 }
 
 // validateDecision guards against mis-behaving policies.
@@ -306,16 +426,20 @@ func hoist(order []int, cursor, pos int) {
 // operation, bounding cascades; evicted ions are steered away from the
 // remainder of this route via the Rebalancer's avoid list so a cascade
 // cannot re-block the path it is clearing.
-func (e *engine) routeWithRebalance(ion, dest int, remaining []int, budget *int) error {
+func (e *engine) routeWithRebalance(ion, dest int, remaining []int, win Window, budget *int) error {
 	topo := e.st.Config().Topology
 	for e.st.IonTrap(ion) != dest {
 		cur := e.st.IonTrap(ion)
 		next := topo.NextHop(cur, dest)
 		if e.st.IsFull(next) {
 			// The evicted ion should not land on the rest of our path (the
-			// traps strictly after next, destination included).
+			// traps strictly after next, destination included). The path is
+			// a shared precomputed slice — read-only by contract.
 			avoid := topo.Path(next, dest)[1:]
-			if err := e.ensureSpace(next, remaining, avoid, budget); err != nil {
+			e.setAvoid(avoid)
+			err := e.ensureSpace(next, remaining, win, avoid, budget)
+			e.clearAvoid()
+			if err != nil {
 				return err
 			}
 		}
@@ -336,12 +460,20 @@ func (e *engine) routeWithRebalance(ion, dest int, remaining []int, budget *int)
 // would cycle between two full traps. When the corridor toward the
 // destination is open, the victim completes the full journey, preserving
 // the baseline policy's (wasteful) long hauls that Fig. 7 illustrates.
-func (e *engine) ensureSpace(blocked int, remaining []int, avoid []int, budget *int) error {
+func (e *engine) ensureSpace(blocked int, remaining []int, win Window, avoid []int, budget *int) error {
 	if *budget <= 0 {
 		return fmt.Errorf("rebalance budget exhausted at trap %d", blocked)
 	}
 	*budget--
-	victim, victimDest, err := e.c.Rebalancer.Choose(e.ctx, blocked, remaining, avoid)
+	var (
+		victim, victimDest int
+		err                error
+	)
+	if e.rebWindowed && e.ctx.idx != nil {
+		victim, victimDest, err = e.c.Rebalancer.(WindowedRebalancer).ChooseWindowed(e.ctx, blocked, win, avoid)
+	} else {
+		victim, victimDest, err = e.c.Rebalancer.Choose(e.ctx, blocked, remaining, avoid)
+	}
 	if err != nil {
 		return fmt.Errorf("traffic block at trap %d unresolvable: %w", blocked, err)
 	}

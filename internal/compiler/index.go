@@ -1,0 +1,340 @@
+package compiler
+
+import "fmt"
+
+// Future-gate index: the engine's zero-rescan read path.
+//
+// The scheduling loop's policies (Direction, Reorderer, Rebalancer) all ask
+// the same question — "which two-qubit gates are still coming up, and for
+// which ions?" — and historically answered it by rescanning the order slice:
+// every co-locate attempt rebuilt a lookahead-bounded remaining list
+// (O(lookahead)), Algorithm 1 rebuilt it again per candidate, and the
+// re-balancer's max-score selection walked the whole list once per ion in
+// the blocked chain. The futureIndex replaces those rescans with three
+// incrementally-maintained structures:
+//
+//   - pos: gate index -> current position in the schedule order;
+//   - pending: the unexecuted 2Q gate indices in schedule order (a slice
+//     whose head advances as gates execute);
+//   - future: per-qubit schedule-ordered lists of the unexecuted 2Q gates
+//     using that qubit.
+//
+// Policies then walk only the O(deg) gates that actually use the ions they
+// are scoring — an O(n*lookahead) -> O(n*deg) complexity drop on the
+// compile's read path — while a Window descriptor (computed in O(log n))
+// reproduces the exact lookahead-cap and exclusion semantics of the naive
+// Remaining2Q scan, keeping optimized and naive compilations
+// trace-equivalent.
+//
+// Invariants policies may rely on while the index is live:
+//
+//   - FutureGates(q) lists exactly the unexecuted 2Q gates using q, in
+//     schedule order (the active gate included when it uses q);
+//   - GatePos is consistent with the engine's order slice at all times,
+//     including immediately after Algorithm-1 hoists;
+//   - a Window built by the engine matches the remaining slice the engine
+//     would have materialized for the same lookahead and exclusion.
+type futureIndex struct {
+	// cursor mirrors the engine's cursor (order positions < cursor are
+	// executed).
+	cursor int
+	// pos maps gate index -> current position in order.
+	pos []int
+	// pending lists unexecuted 2Q gate indices in ascending order position.
+	// Executed gates are dropped from the head; hoisted gates move to the
+	// head.
+	pending []int
+	// future[q] lists the unexecuted 2Q gate indices using qubit q, in
+	// ascending order position. Qubits beyond the circuit register (spectator
+	// ions) have no entry.
+	future [][]int
+}
+
+// newFutureIndex builds the index from scratch for the given schedule order.
+func newFutureIndex(ctx *Context, order []int) *futureIndex {
+	n := len(order)
+	idx := &futureIndex{
+		pos:    make([]int, n),
+		future: make([][]int, ctx.Circ.NumQubits),
+	}
+	// Exact-size arenas: one counting pass, then carve sub-slices.
+	total2Q := 0
+	deg := make([]int, ctx.Circ.NumQubits)
+	for i, g := range ctx.Circ.Gates {
+		if g.Is2Q() && !ctx.Executed[i] {
+			total2Q++
+			deg[g.Qubits[0]]++
+			deg[g.Qubits[1]]++
+		}
+	}
+	idx.pending = make([]int, 0, total2Q)
+	futBuf := make([]int, 0, 2*total2Q)
+	off := 0
+	for q := range idx.future {
+		idx.future[q] = futBuf[off : off : off+deg[q]]
+		off += deg[q]
+	}
+	for p, gi := range order {
+		idx.pos[gi] = p
+		g := ctx.Circ.Gates[gi]
+		if g.Is2Q() && !ctx.Executed[gi] {
+			idx.pending = append(idx.pending, gi)
+			idx.future[g.Qubits[0]] = append(idx.future[g.Qubits[0]], gi)
+			idx.future[g.Qubits[1]] = append(idx.future[g.Qubits[1]], gi)
+		}
+	}
+	return idx
+}
+
+// executed removes a finished gate from the index. The engine only executes
+// the gate at the cursor, which by construction heads every list it is in.
+func (idx *futureIndex) executed(ctx *Context, gi int) {
+	g := ctx.Circ.Gates[gi]
+	if !g.Is2Q() {
+		return
+	}
+	idx.pending = idx.pending[1:]
+	idx.future[g.Qubits[0]] = idx.future[g.Qubits[0]][1:]
+	idx.future[g.Qubits[1]] = idx.future[g.Qubits[1]][1:]
+}
+
+// hoisted re-indexes after the engine moved order[pos] to position cursor
+// (shifting order[cursor:pos] right by one). order is the already-mutated
+// slice. The hoisted gate becomes the schedule-first pending 2Q gate, so it
+// moves to the head of every list it is in.
+func (idx *futureIndex) hoisted(ctx *Context, order []int, cursor, pos int) {
+	for p := cursor; p <= pos; p++ {
+		idx.pos[order[p]] = p
+	}
+	gi := order[cursor]
+	moveToFront(idx.pending, gi)
+	g := ctx.Circ.Gates[gi]
+	moveToFront(idx.future[g.Qubits[0]], gi)
+	moveToFront(idx.future[g.Qubits[1]], gi)
+}
+
+// moveToFront moves the (present) value v to index 0, shifting the prefix
+// right; list order is otherwise preserved.
+func moveToFront(list []int, v int) {
+	for i, x := range list {
+		if x == v {
+			copy(list[1:i+1], list[:i])
+			list[0] = v
+			return
+		}
+	}
+	panic("compiler: future-gate index corrupt: gate missing from list")
+}
+
+// Window is an O(1) descriptor of one lookahead view: the pending 2Q gates
+// strictly after the cursor, capped at the engine's lookahead, minus an
+// optionally excluded gate. It reproduces exactly the contents of the slice
+// Remaining2Q would materialize, without materializing it.
+type Window struct {
+	// Last is the order position of the last gate inside the window; -1
+	// means the window is empty.
+	Last int
+	// Exclude is a gate index excluded from the window (-1: none).
+	Exclude int
+}
+
+// HasIndex reports whether the engine maintains a future-gate index on this
+// context. Policies with indexed fast paths must fall back to scanning the
+// remaining slice when it is absent (hand-built contexts in tests, or a
+// compiler running with DisableIndex).
+func (ctx *Context) HasIndex() bool { return ctx.idx != nil }
+
+// Cursor returns the engine's current schedule position, or -1 when no
+// index is live (hand-built contexts, DisableIndex).
+func (ctx *Context) Cursor() int {
+	if ctx.idx == nil {
+		return -1
+	}
+	return ctx.idx.cursor
+}
+
+// GatePos returns gate gi's current position in the schedule order,
+// reflecting any Algorithm-1 hoists performed so far.
+func (ctx *Context) GatePos(gi int) int { return ctx.idx.pos[gi] }
+
+// FutureGates returns the unexecuted 2Q gates using qubit q in schedule
+// order. The first entry may be the active gate itself; policies scoring a
+// lookahead window filter with InWindow. Ions outside the circuit register
+// (spectators) return nil. The returned slice must not be modified.
+func (ctx *Context) FutureGates(q int) []int {
+	if q < 0 || q >= len(ctx.idx.future) {
+		return nil
+	}
+	return ctx.idx.future[q]
+}
+
+// NextUnexecuted returns the schedule-first unexecuted 2Q gate using qubit
+// q, or -1 if none remains.
+func (ctx *Context) NextUnexecuted(q int) int {
+	f := ctx.FutureGates(q)
+	if len(f) == 0 {
+		return -1
+	}
+	return f[0]
+}
+
+// InWindow reports whether gate gi belongs to window w: strictly after the
+// cursor, at or before the window's last position, and not excluded.
+func (ctx *Context) InWindow(w Window, gi int) bool {
+	p := ctx.idx.pos[gi]
+	return p > ctx.idx.cursor && p <= w.Last && gi != w.Exclude
+}
+
+// Window computes the descriptor for the lookahead view of up to limit
+// pending 2Q gates after the cursor, excluding gate excludeGate (-1: none).
+// Cost is O(log n) (a binary search locating the excluded gate); no gates
+// are scanned or copied.
+func (ctx *Context) Window(limit, excludeGate int) Window {
+	idx := ctx.idx
+	L := idx.pending
+	for len(L) > 0 && idx.pos[L[0]] <= idx.cursor {
+		L = L[1:] // skip the active gate
+	}
+	w := Window{Last: -1, Exclude: excludeGate}
+	if len(L) == 0 || limit <= 0 {
+		return w
+	}
+	if excludeGate < 0 {
+		m := min(limit, len(L))
+		w.Last = idx.pos[L[m-1]]
+		return w
+	}
+	// k = rank of the excluded gate in L (len(L) if it lies outside).
+	k := rankByPos(L, idx.pos, idx.pos[excludeGate])
+	if k < len(L) && L[k] != excludeGate {
+		k = len(L) // not a pending 2Q gate after the cursor; nothing excluded
+	}
+	effective := len(L)
+	if k < len(L) {
+		effective--
+	}
+	m := min(limit, effective)
+	if m == 0 {
+		return w
+	}
+	// The m-th included gate is L[m-1], or L[m] when the excluded gate sits
+	// inside the first m entries.
+	if k < m {
+		w.Last = idx.pos[L[m]]
+	} else {
+		w.Last = idx.pos[L[m-1]]
+	}
+	return w
+}
+
+// rankByPos binary-searches the position-sorted gate list for the first
+// entry at or after order position p.
+func rankByPos(list []int, pos []int, p int) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pos[list[mid]] < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AppendWindow materializes window w into buf (reusing its storage) in
+// schedule order — the bridge from a Window descriptor to the []int
+// remaining view of the legacy policy interfaces.
+func (ctx *Context) AppendWindow(buf []int, w Window) []int {
+	buf = buf[:0]
+	if w.Last < 0 {
+		return buf
+	}
+	idx := ctx.idx
+	for _, gi := range idx.pending {
+		p := idx.pos[gi]
+		if p <= idx.cursor {
+			continue
+		}
+		if p > w.Last {
+			break
+		}
+		if gi == w.Exclude {
+			continue
+		}
+		buf = append(buf, gi)
+	}
+	return buf
+}
+
+// MaterializeWindow renders w into a context-owned scratch buffer (distinct
+// from the engine's attempt-level buffer, so Algorithm-1 candidate scans
+// cannot clobber the view the engine handed the Direction policy). The
+// returned slice is valid until the next MaterializeWindow call.
+func (ctx *Context) MaterializeWindow(w Window) []int {
+	ctx.candBuf = ctx.AppendWindow(ctx.candBuf, w)
+	return ctx.candBuf
+}
+
+// verify checks the incremental index against a from-scratch rebuild; it is
+// the property-test hook for index maintenance (see index_test.go) and is
+// not called in production paths.
+func (idx *futureIndex) verify(ctx *Context, order []int) error {
+	fresh := newFutureIndex(ctx, order)
+	fresh.cursor = idx.cursor
+	if !equalInts(idx.pending, fresh.pending) {
+		return indexDiff("pending", idx.pending, fresh.pending)
+	}
+	for i, p := range fresh.pos {
+		if idx.pos[i] != p {
+			return indexDiff("pos", idx.pos, fresh.pos)
+		}
+	}
+	for q := range fresh.future {
+		if !equalInts(idx.future[q], fresh.future[q]) {
+			return indexDiff("future", idx.future[q], fresh.future[q])
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type indexError struct {
+	field     string
+	got, want any
+}
+
+func indexDiff(field string, got, want any) error {
+	return &indexError{field: field, got: got, want: want}
+}
+
+func (e *indexError) Error() string {
+	return fmt.Sprintf("compiler: future-gate index diverged on %s: incremental %v, rebuilt %v", e.field, e.got, e.want)
+}
+
+// WindowedDirection is a Direction with an indexed fast path: the engine
+// hands it a Window descriptor instead of materializing the remaining
+// slice. Implementations must produce exactly the decision Choose would
+// make on the materialized window.
+type WindowedDirection interface {
+	Direction
+	ChooseWindowed(ctx *Context, gateIdx, qa, qb int, w Window) (moveIon, destTrap int)
+}
+
+// WindowedRebalancer is a Rebalancer with an indexed fast path; the same
+// contract as WindowedDirection applies.
+type WindowedRebalancer interface {
+	Rebalancer
+	ChooseWindowed(ctx *Context, blocked int, w Window, avoid []int) (ion, dest int, err error)
+}

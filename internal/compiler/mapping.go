@@ -30,22 +30,31 @@ func GreedyPlacement(c *circuit.Circuit, cfg machine.Config) ([][]int, error) {
 			c.NumQubits, nTraps*maxLoad, nTraps, maxLoad)
 	}
 
-	// Interaction weights between qubit pairs.
-	weight := make([]map[int]int, c.NumQubits)
-	for i := range weight {
-		weight[i] = map[int]int{}
-	}
+	// Interaction weights between qubit pairs, as per-qubit neighbor lists
+	// (slice scans beat per-qubit maps: degrees are small and the lists are
+	// deterministic, allocation-light, and cache-friendly).
+	type neighbor struct{ q, w int }
+	adj := make([][]neighbor, c.NumQubits)
 	firstSeen := make([]int, c.NumQubits)
 	for i := range firstSeen {
 		firstSeen[i] = int(^uint(0) >> 1) // max int
+	}
+	bump := func(a, b int) {
+		for i := range adj[a] {
+			if adj[a][i].q == b {
+				adj[a][i].w++
+				return
+			}
+		}
+		adj[a] = append(adj[a], neighbor{q: b, w: 1})
 	}
 	for gi, g := range c.Gates {
 		if !g.Is2Q() {
 			continue
 		}
 		a, b := g.Qubits[0], g.Qubits[1]
-		weight[a][b]++
-		weight[b][a]++
+		bump(a, b)
+		bump(b, a)
 		if gi < firstSeen[a] {
 			firstSeen[a] = gi
 		}
@@ -77,18 +86,24 @@ func GreedyPlacement(c *circuit.Circuit, cfg machine.Config) ([][]int, error) {
 	for i := range trapOf {
 		trapOf[i] = -1
 	}
+	trapScore := make([]int, nTraps)
 	for _, q := range orderQ {
+		// Accumulate q's affinity per trap in one pass over its neighbors
+		// (O(deg + traps) instead of O(deg * traps)).
+		for t := range trapScore {
+			trapScore[t] = 0
+		}
+		for _, nb := range adj[q] {
+			if t := trapOf[nb.q]; t >= 0 {
+				trapScore[t] += nb.w
+			}
+		}
 		bestTrap, bestScore, bestFree := -1, -1, -1
 		for t := 0; t < nTraps; t++ {
 			if len(placement[t]) >= maxLoad {
 				continue
 			}
-			score := 0
-			for other, w := range weight[q] {
-				if trapOf[other] == t {
-					score += w
-				}
-			}
+			score := trapScore[t]
 			free := maxLoad - len(placement[t])
 			if score > bestScore || (score == bestScore && free > bestFree) {
 				bestTrap, bestScore, bestFree = t, score, free

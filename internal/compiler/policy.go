@@ -14,6 +14,15 @@
 //     destination trap is full (Section III-B, Algorithm 1);
 //   - Rebalancer: which ion leaves a full trap, and for which destination,
 //     when a traffic block must be resolved (Section III-C, Algorithm 2).
+//
+// The engine feeds policies through a future-gate index (see index.go): a
+// per-qubit, schedule-ordered view of the upcoming 2Q gates, maintained
+// incrementally across cursor advances and Algorithm-1 hoists. Policies
+// implementing the Windowed* interfaces consume O(1) Window descriptors and
+// walk only the gates using the ions they score (O(deg) instead of
+// O(lookahead) per query); the []int remaining parameter of the base
+// interfaces remains supported and trace-equivalent for policies without a
+// fast path.
 package compiler
 
 import (
@@ -37,16 +46,46 @@ type Context struct {
 	// evicting one of them would undo the routing in progress. Rebalancers
 	// may still evict a protected ion when a trap contains nothing else.
 	Protected []int
+
+	// idx is the engine-maintained future-gate index (see index.go); nil on
+	// hand-built contexts and under Compiler.DisableIndex.
+	idx *futureIndex
+	// protMark is an engine-maintained per-ion membership bitmap mirroring
+	// Protected, giving IsProtected an O(1) form; nil on hand-built
+	// contexts (which fall back to scanning Protected).
+	protMark []bool
+	// avoidMark / avoidRef give Avoided an O(1) form for the avoid slice
+	// the engine most recently marked (avoidRef records which one that is).
+	avoidMark []bool
+	avoidRef  []int
+	// candBuf backs MaterializeWindow (reorderer candidate views).
+	candBuf []int
 }
 
 // IsProtected reports whether ion is currently protected from eviction.
+// With an engine-maintained mark bitmap the query is O(1); hand-built
+// contexts fall back to scanning the (tiny) Protected slice.
 func (ctx *Context) IsProtected(ion int) bool {
+	if ctx.protMark != nil {
+		return ion < len(ctx.protMark) && ctx.protMark[ion]
+	}
 	for _, p := range ctx.Protected {
 		if p == ion {
 			return true
 		}
 	}
 	return false
+}
+
+// Avoided reports whether trap t is in the avoid list. When the engine's
+// avoid marks are current for this exact slice the query is O(1); otherwise
+// it degrades to the linear InAvoid scan.
+func (ctx *Context) Avoided(avoid []int, t int) bool {
+	if ctx.avoidMark != nil && len(avoid) == len(ctx.avoidRef) &&
+		(len(avoid) == 0 || &avoid[0] == &ctx.avoidRef[0]) {
+		return t < len(ctx.avoidMark) && ctx.avoidMark[t]
+	}
+	return InAvoid(avoid, t)
 }
 
 // Direction decides which ion shuttles to execute a cross-trap 2Q gate.
@@ -89,7 +128,8 @@ func InAvoid(avoid []int, t int) bool {
 // triggering further traffic blocks. Rebalancers use it to prefer eviction
 // destinations that are actually reachable — sending a victim down a
 // blocked corridor spawns recursive evictions that can cycle (two full
-// traps each needing the other cleared first).
+// traps each needing the other cleared first). The walk follows the
+// precomputed shortest-path table, so the query is allocation-free.
 func PathClear(st *machine.State, from, to int) bool {
 	path := st.Config().Topology.Path(from, to)
 	if len(path) <= 2 {
@@ -114,12 +154,20 @@ type Reorderer interface {
 	Candidate(ctx *Context, order []int, cursor int, fullTrap int) int
 }
 
-// Remaining2Q collects up to cap unexecuted 2Q gate indices from order
+// Remaining2Q collects up to limit unexecuted 2Q gate indices from order
 // starting after position cursor, skipping position exclude (pass -1 to
-// skip nothing). It is the lookahead view handed to policies.
-func Remaining2Q(ctx *Context, order []int, cursor, cap, exclude int) []int {
-	out := make([]int, 0, cap)
-	for pos := cursor + 1; pos < len(order) && len(out) < cap; pos++ {
+// skip nothing). It is the naive-rescan form of the lookahead view handed
+// to policies; the engine's default path derives the same view from the
+// future-gate index (see index.go) and only falls back to this scan when
+// the index is disabled. It remains the reference implementation the
+// trace-equivalence tests compare against.
+func Remaining2Q(ctx *Context, order []int, cursor, limit, exclude int) []int {
+	// Size from what can actually remain, not the lookahead cap: near the
+	// end of a schedule the window holds only a handful of gates and a
+	// fixed 512-capacity allocation per attempt is pure waste.
+	capHint := max(0, min(limit, len(order)-cursor-1))
+	out := make([]int, 0, capHint)
+	for pos := cursor + 1; pos < len(order) && len(out) < limit; pos++ {
 		if pos == exclude {
 			continue
 		}

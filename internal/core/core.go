@@ -116,6 +116,21 @@ func (d FutureOpsDirection) MoveScores(ctx *compiler.Context, qa, qb int, remain
 // Choose implements compiler.Direction.
 func (d FutureOpsDirection) Choose(ctx *compiler.Context, gateIdx, qa, qb int, remaining []int) (int, int) {
 	scoreAB, scoreBA := d.MoveScores(ctx, qa, qb, remaining)
+	return d.decide(ctx, gateIdx, qa, qb, scoreAB, scoreBA)
+}
+
+// ChooseWindowed implements compiler.WindowedDirection: the same decision as
+// Choose, computed from the future-gate index without materializing the
+// remaining slice. Instead of filtering the whole lookahead window for gates
+// touching qa/qb (O(lookahead)), it merge-walks the two ions' future-gate
+// lists in schedule order (O(deg qa + deg qb), usually cut much shorter by
+// the proximity window).
+func (d FutureOpsDirection) ChooseWindowed(ctx *compiler.Context, gateIdx, qa, qb int, w compiler.Window) (int, int) {
+	scoreAB, scoreBA := d.MoveScoresWindowed(ctx, qa, qb, w)
+	return d.decide(ctx, gateIdx, qa, qb, scoreAB, scoreBA)
+}
+
+func (d FutureOpsDirection) decide(ctx *compiler.Context, gateIdx, qa, qb, scoreAB, scoreBA int) (int, int) {
 	switch {
 	case scoreAB > scoreBA:
 		// Keeping both ions in trapB satisfies more future gates: move A.
@@ -123,8 +138,79 @@ func (d FutureOpsDirection) Choose(ctx *compiler.Context, gateIdx, qa, qb int, r
 	case scoreBA > scoreAB:
 		return qb, ctx.State.IonTrap(qa)
 	default:
-		return baseline.ExcessCapacityDirection{}.Choose(ctx, gateIdx, qa, qb, remaining)
+		// The excess-capacity fallback ignores the remaining view, so the
+		// windowed path can share it with nil remaining.
+		return baseline.ExcessCapacityDirection{}.Choose(ctx, gateIdx, qa, qb, nil)
 	}
+}
+
+// MoveScoresWindowed is MoveScores on the future-gate index: a merge walk
+// over FutureGates(qa) and FutureGates(qb) visits exactly the subsequence of
+// the lookahead window that uses either ion, in schedule order, so the
+// scores (and the proximity cut-off) match MoveScores on the materialized
+// window gate for gate.
+func (d FutureOpsDirection) MoveScoresWindowed(ctx *compiler.Context, qa, qb int, w compiler.Window) (scoreAB, scoreBA int) {
+	ta := ctx.State.IonTrap(qa)
+	tb := ctx.State.IonTrap(qb)
+	prox := d.proximity()
+	lastLayer := -1
+	fa, fb := ctx.FutureGates(qa), ctx.FutureGates(qb)
+	ia, ib := 0, 0
+	for ia < len(fa) || ib < len(fb) {
+		var idx int
+		switch {
+		case ia >= len(fa):
+			idx = fb[ib]
+			ib++
+		case ib >= len(fb):
+			idx = fa[ia]
+			ia++
+		case fa[ia] == fb[ib]:
+			// One gate using both ions: visit once, score both operands.
+			idx = fa[ia]
+			ia++
+			ib++
+		case ctx.GatePos(fa[ia]) < ctx.GatePos(fb[ib]):
+			idx = fa[ia]
+			ia++
+		default:
+			idx = fb[ib]
+			ib++
+		}
+		if !ctx.InWindow(w, idx) {
+			if ctx.GatePos(idx) > w.Last {
+				break // schedule-ordered: nothing later can be in the window
+			}
+			continue // the active gate itself, or the excluded candidate
+		}
+		g := ctx.Circ.Gates[idx]
+		layer := ctx.Graph.Layer(idx)
+		if prox >= 0 && lastLayer >= 0 {
+			if gap := layer - lastLayer - 1; gap > prox {
+				break
+			}
+		}
+		lastLayer = layer
+		if g.Uses(qa) {
+			partner := g.Other(qa)
+			switch ctx.State.IonTrap(partner) {
+			case tb:
+				scoreAB++
+			case ta:
+				scoreBA++
+			}
+		}
+		if g.Uses(qb) {
+			partner := g.Other(qb)
+			switch ctx.State.IonTrap(partner) {
+			case tb:
+				scoreAB++
+			case ta:
+				scoreBA++
+			}
+		}
+	}
+	return scoreAB, scoreBA
 }
 
 // OpportunisticReorderer is Algorithm 1: when the favorable destination
@@ -188,8 +274,23 @@ func (r OpportunisticReorderer) Candidate(ctx *compiler.Context, order []int, cu
 		if ctx.State.CoLocated(qa, qb) {
 			continue // executes without a shuttle; frees nothing
 		}
-		remaining := compiler.Remaining2Q(ctx, order, cursor, compiler.DefaultLookahead, pos)
-		moveIon, dest := r.Direction.Choose(ctx, idx, qa, qb, remaining)
+		// Evaluate the candidate's own shuttle direction on the lookahead
+		// window that excludes the candidate itself. With the future-gate
+		// index the view is an O(1) descriptor (and a windowed Direction
+		// never materializes it); the naive rescan remains the fallback for
+		// index-less contexts.
+		var moveIon, dest int
+		if ctx.HasIndex() {
+			win := ctx.Window(compiler.DefaultLookahead, idx)
+			if wd, ok := r.Direction.(compiler.WindowedDirection); ok {
+				moveIon, dest = wd.ChooseWindowed(ctx, idx, qa, qb, win)
+			} else {
+				moveIon, dest = r.Direction.Choose(ctx, idx, qa, qb, ctx.MaterializeWindow(win))
+			}
+		} else {
+			remaining := compiler.Remaining2Q(ctx, order, cursor, compiler.DefaultLookahead, pos)
+			moveIon, dest = r.Direction.Choose(ctx, idx, qa, qb, remaining)
+		}
 		// Algorithm 1 line 12: the candidate must move an ion out of the
 		// old destination — and must itself be executable (its own
 		// destination not full).
@@ -231,20 +332,75 @@ func (r NearestNeighborRebalancer) weights() (float64, float64) {
 
 // Choose implements compiler.Rebalancer.
 func (r NearestNeighborRebalancer) Choose(ctx *compiler.Context, blocked int, remaining []int, avoid []int) (int, int, error) {
+	dest, err := r.pickDest(ctx, blocked, avoid)
+	if err != nil {
+		return -1, -1, err
+	}
+	countGates := func(ion int) (inDest, inSrc int) {
+		st := ctx.State
+		for _, idx := range remaining {
+			g := ctx.Circ.Gates[idx]
+			if !g.Uses(ion) {
+				continue
+			}
+			switch st.IonTrap(g.Other(ion)) {
+			case dest:
+				inDest++
+			case blocked:
+				inSrc++
+			}
+		}
+		return inDest, inSrc
+	}
+	return r.pickIon(ctx, blocked, dest, countGates)
+}
+
+// ChooseWindowed implements compiler.WindowedRebalancer: identical decisions
+// to Choose, but each candidate ion's gate counts come from its own
+// future-gate list (O(deg) per ion) instead of a scan over the whole
+// lookahead window per ion.
+func (r NearestNeighborRebalancer) ChooseWindowed(ctx *compiler.Context, blocked int, w compiler.Window, avoid []int) (int, int, error) {
+	dest, err := r.pickDest(ctx, blocked, avoid)
+	if err != nil {
+		return -1, -1, err
+	}
+	countGates := func(ion int) (inDest, inSrc int) {
+		st := ctx.State
+		for _, idx := range ctx.FutureGates(ion) {
+			if !ctx.InWindow(w, idx) {
+				if ctx.GatePos(idx) > w.Last {
+					break // schedule-ordered: the rest is outside too
+				}
+				continue
+			}
+			g := ctx.Circ.Gates[idx]
+			switch st.IonTrap(g.Other(ion)) {
+			case dest:
+				inDest++
+			case blocked:
+				inSrc++
+			}
+		}
+		return inDest, inSrc
+	}
+	return r.pickIon(ctx, blocked, dest, countGates)
+}
+
+// pickDest is Algorithm 2's destination selection: filter traps with excess
+// capacity, pick the nearest. Preference tiers keep the eviction feasible:
+// first traps that are neither on the engine's avoid list (the in-progress
+// route) nor behind a blocked corridor, then reachable-but-avoided traps,
+// then anything with room as a last resort.
+func (r NearestNeighborRebalancer) pickDest(ctx *compiler.Context, blocked int, avoid []int) (int, error) {
 	st := ctx.State
 	top := st.Config().Topology
-	// Algorithm 2: filter traps with excess capacity, pick the nearest.
-	// Preference tiers keep the eviction feasible: first traps that are
-	// neither on the engine's avoid list (the in-progress route) nor behind
-	// a blocked corridor, then reachable-but-avoided traps, then anything
-	// with room as a last resort.
 	pick := func(skipAvoided, needClearPath bool) int {
 		dest, bestDist := -1, -1
 		for t := 0; t < st.NumTraps(); t++ {
 			if t == blocked || st.ExcessCapacity(t) <= 0 {
 				continue
 			}
-			if skipAvoided && compiler.InAvoid(avoid, t) {
+			if skipAvoided && ctx.Avoided(avoid, t) {
 				continue
 			}
 			if needClearPath && !compiler.PathClear(st, blocked, t) {
@@ -265,37 +421,31 @@ func (r NearestNeighborRebalancer) Choose(ctx *compiler.Context, blocked int, re
 		dest = pick(false, false)
 	}
 	if dest < 0 {
-		return -1, -1, fmt.Errorf("core: no trap has excess capacity")
+		return -1, fmt.Errorf("core: no trap has excess capacity")
 	}
-	// Max-score ion selection over the blocked trap's chain. Ions protected
-	// by the engine (the active gate's operands) are excluded unless the
-	// chain holds nothing else.
+	return dest, nil
+}
+
+// pickIon is the max-score ion selection over the blocked trap's chain.
+// Ions protected by the engine (the active gate's operands) are excluded
+// unless the chain holds nothing else. countGates supplies, for one ion,
+// its future 2Q gate counts whose partner currently sits in dest / blocked.
+func (r NearestNeighborRebalancer) pickIon(ctx *compiler.Context, blocked, dest int, countGates func(ion int) (int, int)) (int, int, error) {
 	wd, ws := r.weights()
-	chain := st.Chain(blocked)
-	candidates := make([]int, 0, len(chain))
+	chain := ctx.State.Chain(blocked)
+	bestIon, bestScore := -1, 0.0
+	anyUnprotected := false
 	for _, ion := range chain {
 		if !ctx.IsProtected(ion) {
-			candidates = append(candidates, ion)
+			anyUnprotected = true
+			break
 		}
 	}
-	if len(candidates) == 0 {
-		candidates = chain
-	}
-	bestIon, bestScore := -1, 0.0
-	for _, ion := range candidates {
-		inDest, inSrc := 0, 0
-		for _, idx := range remaining {
-			g := ctx.Circ.Gates[idx]
-			if !g.Uses(ion) {
-				continue
-			}
-			switch st.IonTrap(g.Other(ion)) {
-			case dest:
-				inDest++
-			case blocked:
-				inSrc++
-			}
+	for _, ion := range chain {
+		if anyUnprotected && ctx.IsProtected(ion) {
+			continue
 		}
+		inDest, inSrc := countGates(ion)
 		cwd, cws := wd, ws
 		if inDest == inSrc {
 			// Section III-C2: avoid a zero score on equal counts.

@@ -26,6 +26,14 @@ type Graph struct {
 }
 
 // Build constructs the dependency graph for c.
+//
+// The builder is allocation-lean by design: dependency-graph construction
+// runs once per compile and used to dominate the compile path's allocation
+// profile (a dedupe map per gate plus per-edge appends). Edges are instead
+// deduped with a small scan over each gate's operand list (gates have 1-3
+// operands outside barriers) and stored in flat arenas sized exactly from a
+// counting pass, so Build performs O(1) allocations regardless of circuit
+// size while producing byte-identical preds/succs/layers.
 func Build(c *circuit.Circuit) *Graph {
 	n := len(c.Gates)
 	g := &Graph{
@@ -38,21 +46,41 @@ func Build(c *circuit.Circuit) *Graph {
 	for i := range last {
 		last[i] = -1
 	}
+
+	// Pass 1: per-gate distinct predecessors (dedupe via operand scan),
+	// layers, and edge counts for the succs arena.
+	totalEdges := 0
+	for _, gate := range c.Gates {
+		totalEdges += len(gate.Qubits)
+	}
+	predBuf := make([]int, 0, totalEdges)
+	succCnt := make([]int, n)
 	maxLayer := -1
 	for i, gate := range c.Gates {
 		l := 0
-		seen := map[int]bool{}
+		start := len(predBuf)
 		for _, q := range gate.Qubits {
 			p := last[q]
-			if p >= 0 && !seen[p] {
-				seen[p] = true
-				g.preds[i] = append(g.preds[i], p)
-				g.succs[p] = append(g.succs[p], i)
-				if g.layer[p]+1 > l {
-					l = g.layer[p] + 1
+			if p < 0 {
+				continue
+			}
+			dup := false
+			for _, prev := range predBuf[start:] {
+				if prev == p {
+					dup = true
+					break
 				}
 			}
+			if dup {
+				continue
+			}
+			predBuf = append(predBuf, p)
+			succCnt[p]++
+			if g.layer[p]+1 > l {
+				l = g.layer[p] + 1
+			}
 		}
+		g.preds[i] = predBuf[start:len(predBuf):len(predBuf)]
 		g.layer[i] = l
 		if l > maxLayer {
 			maxLayer = l
@@ -61,8 +89,33 @@ func Build(c *circuit.Circuit) *Graph {
 			last[q] = i
 		}
 	}
+
+	// Pass 2: successors, in ascending gate order, carved from one arena.
+	succBuf := make([]int, len(predBuf))
+	off := 0
+	for p := 0; p < n; p++ {
+		g.succs[p] = succBuf[off : off : off+succCnt[p]]
+		off += succCnt[p]
+	}
+	for i := 0; i < n; i++ {
+		for _, p := range g.preds[i] {
+			g.succs[p] = append(g.succs[p], i)
+		}
+	}
+
+	// Layer buckets, in ascending gate order, carved from one arena.
+	layerCnt := make([]int, maxLayer+1)
+	for _, l := range g.layer {
+		layerCnt[l]++
+	}
+	layerBuf := make([]int, n)
 	g.layers = make([][]int, maxLayer+1)
-	for i := range c.Gates {
+	off = 0
+	for l := range g.layers {
+		g.layers[l] = layerBuf[off : off : off+layerCnt[l]]
+		off += layerCnt[l]
+	}
+	for i := 0; i < n; i++ {
 		l := g.layer[i]
 		g.layers[l] = append(g.layers[l], i)
 	}

@@ -77,6 +77,9 @@ const (
 	OpMerge
 	// OpMeasure is a measurement inside a trap.
 	OpMeasure
+
+	// numOpKinds bounds the OpKind enum for counter arrays.
+	numOpKinds
 )
 
 // String returns the mnemonic used in traces.
@@ -144,7 +147,14 @@ type State struct {
 	posOf    []int   // ion -> index within its chain
 	chains   [][]int // trap -> ordered ion chain
 	ops      []Op
+	counts   [numOpKinds]int // per-kind op tally, maintained on append
 	shuttles int
+}
+
+// record appends one op to the trace, keeping the per-kind counters in sync.
+func (s *State) record(o Op) {
+	s.ops = append(s.ops, o)
+	s.counts[o.Kind]++
 }
 
 // NewState places ions into traps per placement (placement[t] lists the ions
@@ -225,15 +235,25 @@ func (s *State) Shuttles() int { return s.shuttles }
 // Ops returns the trace. The returned slice must not be modified.
 func (s *State) Ops() []Op { return s.ops }
 
-// OpCount returns the number of trace ops of kind k.
+// OpCount returns the number of trace ops of kind k. Counters are maintained
+// incrementally on append, so the query is O(1) instead of a trace scan.
 func (s *State) OpCount(k OpKind) int {
-	n := 0
-	for _, o := range s.ops {
-		if o.Kind == k {
-			n++
-		}
+	if k < 0 || k >= numOpKinds {
+		return 0
 	}
-	return n
+	return s.counts[k]
+}
+
+// ReserveOps grows the trace's capacity so at least n further ops can be
+// appended without reallocation. Callers that know the workload size (the
+// compiler engine knows the gate count) use it to keep the trace append
+// amortization out of the scheduling hot path.
+func (s *State) ReserveOps(n int) {
+	if free := cap(s.ops) - len(s.ops); free < n {
+		grown := make([]Op, len(s.ops), len(s.ops)+n)
+		copy(grown, s.ops)
+		s.ops = grown
+	}
 }
 
 // CoLocated reports whether two ions share a trap.
@@ -245,7 +265,7 @@ func (s *State) ApplyGate1Q(name string, q, gateIdx int) {
 	if name == "measure" {
 		kind = OpMeasure
 	}
-	s.ops = append(s.ops, Op{Kind: kind, Ion: q, Ion2: -1, Trap: s.trapOf[q], Trap2: -1, Gate: gateIdx, Name: name})
+	s.record(Op{Kind: kind, Ion: q, Ion2: -1, Trap: s.trapOf[q], Trap2: -1, Gate: gateIdx, Name: name})
 }
 
 // ApplyGate2Q records a two-qubit gate; the ions must be co-located.
@@ -253,7 +273,7 @@ func (s *State) ApplyGate2Q(name string, a, b, gateIdx int) error {
 	if s.trapOf[a] != s.trapOf[b] {
 		return fmt.Errorf("machine: 2Q gate %q on ions %d (T%d) and %d (T%d): not co-located", name, a, s.trapOf[a], b, s.trapOf[b])
 	}
-	s.ops = append(s.ops, Op{Kind: OpGate2Q, Ion: a, Ion2: b, Trap: s.trapOf[a], Trap2: -1, Gate: gateIdx, Name: name})
+	s.record(Op{Kind: OpGate2Q, Ion: a, Ion2: b, Trap: s.trapOf[a], Trap2: -1, Gate: gateIdx, Name: name})
 	return nil
 }
 
@@ -284,7 +304,7 @@ func (s *State) swapToEdge(q, to int) {
 		chain[p], chain[p+step] = chain[p+step], chain[p]
 		s.posOf[q] = p + step
 		s.posOf[other] = p
-		s.ops = append(s.ops, Op{Kind: OpSwap, Ion: q, Ion2: other, Trap: from, Trap2: -1, Gate: -1})
+		s.record(Op{Kind: OpSwap, Ion: q, Ion2: other, Trap: from, Trap2: -1, Gate: -1})
 	}
 }
 
@@ -313,14 +333,14 @@ func (s *State) Hop(q, to int) error {
 	// SPLIT: remove from source chain.
 	chain := s.chains[from]
 	p := s.posOf[q]
-	s.ops = append(s.ops, Op{Kind: OpSplit, Ion: q, Ion2: -1, Trap: from, Trap2: -1, Gate: -1})
+	s.record(Op{Kind: OpSplit, Ion: q, Ion2: -1, Trap: from, Trap2: -1, Gate: -1})
 	copy(chain[p:], chain[p+1:])
 	s.chains[from] = chain[:len(chain)-1]
 	for i := p; i < len(s.chains[from]); i++ {
 		s.posOf[s.chains[from][i]] = i
 	}
 	// MOVE: one shuttle.
-	s.ops = append(s.ops, Op{Kind: OpMove, Ion: q, Ion2: -1, Trap: from, Trap2: to, Gate: -1})
+	s.record(Op{Kind: OpMove, Ion: q, Ion2: -1, Trap: from, Trap2: to, Gate: -1})
 	s.shuttles++
 	// MERGE: insert at the edge facing the source.
 	dst := s.chains[to]
@@ -338,7 +358,7 @@ func (s *State) Hop(q, to int) error {
 		s.posOf[q] = len(s.chains[to]) - 1
 	}
 	s.trapOf[q] = to
-	s.ops = append(s.ops, Op{Kind: OpMerge, Ion: q, Ion2: -1, Trap: to, Trap2: -1, Gate: -1})
+	s.record(Op{Kind: OpMerge, Ion: q, Ion2: -1, Trap: to, Trap2: -1, Gate: -1})
 	return nil
 }
 
@@ -431,6 +451,7 @@ func (s *State) Clone() *State {
 		posOf:    append([]int(nil), s.posOf...),
 		chains:   s.Snapshot(),
 		ops:      append([]Op(nil), s.ops...),
+		counts:   s.counts,
 		shuttles: s.shuttles,
 	}
 	return c

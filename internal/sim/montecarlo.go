@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"muzzle/internal/machine"
 )
@@ -24,11 +27,35 @@ type SuccessEstimate struct {
 	Analytic float64
 }
 
+// mcChunk is the number of trials per deterministic RNG chunk.
+//
+// Seed-splitting scheme: the trial space is partitioned into fixed chunks of
+// mcChunk trials; chunk c draws from its own rand source seeded with
+// splitMix64(seed, c). Workers claim whole chunks, so the set of random
+// streams — and therefore the estimate — depends only on (seed, trials),
+// never on the worker count or scheduling order: SampleSuccess(…, s) is
+// bit-for-bit reproducible on any machine and any GOMAXPROCS.
+const mcChunk = 8192
+
+// splitMix64 derives a decorrelated per-chunk seed from the user seed; it is
+// the standard SplitMix64 output function over seed advanced by chunk+1
+// golden-gamma steps.
+func splitMix64(seed int64, chunk int) int64 {
+	z := uint64(seed) + uint64(chunk+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // SampleSuccess estimates the program success probability by Monte Carlo:
 // it replays the trace once through the analytic simulator to obtain every
 // gate's fidelity, then samples `trials` runs in which each gate fails
 // independently with probability 1 - F(gate). A run succeeds when no gate
 // fails.
+//
+// Trials are partitioned into deterministic chunks (see mcChunk) and drawn
+// by a pool of workers in parallel; results are reproducible for a given
+// (seed, trials) pair regardless of CPU count.
 //
 // Under this independence model the estimate converges to the analytic
 // product, so the sampler is primarily a consistency check and a base for
@@ -42,21 +69,49 @@ func SampleSuccess(cfg machine.Config, initial [][]int, ops []machine.Op, params
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	successes := 0
-	for t := 0; t < trials; t++ {
-		ok := true
-		for _, f := range rep.GateFidelities {
-			if rng.Float64() >= f {
-				ok = false
-				break
+	fids := rep.GateFidelities
+
+	chunks := (trials + mcChunk - 1) / mcChunk
+	workers := min(runtime.GOMAXPROCS(0), chunks)
+	var (
+		next      atomic.Int64
+		successes atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				n := mcChunk
+				if rem := trials - c*mcChunk; rem < n {
+					n = rem
+				}
+				rng := rand.New(rand.NewSource(splitMix64(seed, c)))
+				ok := 0
+				for t := 0; t < n; t++ {
+					good := true
+					for _, f := range fids {
+						if rng.Float64() >= f {
+							good = false
+							break
+						}
+					}
+					if good {
+						ok++
+					}
+				}
+				successes.Add(int64(ok))
 			}
-		}
-		if ok {
-			successes++
-		}
+		}()
 	}
-	mean := float64(successes) / float64(trials)
+	wg.Wait()
+
+	mean := float64(successes.Load()) / float64(trials)
 	return &SuccessEstimate{
 		Mean:     mean,
 		StdErr:   math.Sqrt(mean * (1 - mean) / float64(trials)),

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -494,5 +495,29 @@ func TestGateFidelitiesRecorded(t *testing.T) {
 	}
 	if math.Abs(product-rep.Fidelity) > 1e-12 {
 		t.Errorf("product of gate fidelities %g != program fidelity %g", product, rep.Fidelity)
+	}
+}
+
+func TestSampleSuccessWorkerCountInvariant(t *testing.T) {
+	// The chunked seed-splitting scheme must make the estimate a pure
+	// function of (seed, trials): runs with different worker counts
+	// (GOMAXPROCS) draw identical random streams per chunk.
+	cfg, initial, ops := buildTrace(t)
+	prev := runtime.GOMAXPROCS(1)
+	seq, err := SampleSuccess(cfg, initial, ops, DefaultParams(), 20000, 11)
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		t.Fatal(err)
+	}
+	// Pin an explicitly parallel run: on a 1-CPU host the ambient setting
+	// would make both runs single-worker and the test vacuous.
+	runtime.GOMAXPROCS(4)
+	par, err := SampleSuccess(cfg, initial, ops, DefaultParams(), 20000, 11)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Mean != par.Mean {
+		t.Errorf("worker count changed the estimate: %g vs %g", seq.Mean, par.Mean)
 	}
 }

@@ -19,8 +19,9 @@ type Topology struct {
 	name  string
 	n     int
 	adj   [][]int
-	dist  [][]int // all-pairs hop distances
-	nextH [][]int // nextH[s][d] = neighbor of s on a shortest s->d path
+	dist  [][]int   // all-pairs hop distances
+	nextH [][]int   // nextH[s][d] = neighbor of s on a shortest s->d path
+	paths [][][]int // paths[s][d] = full trap sequence s..d (shared, immutable)
 }
 
 // New builds a topology from an edge list. Edges are undirected; duplicates
@@ -101,6 +102,28 @@ func (t *Topology) computePaths() error {
 		t.dist[s] = dist
 		t.nextH[s] = next
 	}
+	// Precompute every shortest path once so Path is an O(1), allocation-free
+	// table lookup: the routing and re-balancing hot paths query paths per
+	// hop, and materializing them per call dominated their allocation
+	// profile. Each path is laid out in one shared backing array per source.
+	t.paths = make([][][]int, t.n)
+	for s := 0; s < t.n; s++ {
+		total := 0
+		for d := 0; d < t.n; d++ {
+			total += t.dist[s][d] + 1
+		}
+		buf := make([]int, 0, total)
+		t.paths[s] = make([][]int, t.n)
+		for d := 0; d < t.n; d++ {
+			start := len(buf)
+			buf = append(buf, s)
+			for v := s; v != d; {
+				v = t.nextH[v][d]
+				buf = append(buf, v)
+			}
+			t.paths[s][d] = buf[start:len(buf):len(buf)]
+		}
+	}
 	return nil
 }
 
@@ -128,14 +151,11 @@ func (t *Topology) NextHop(src, dst int) int {
 }
 
 // Path returns the trap sequence from src to dst inclusive along a shortest
-// path.
+// path. The path is precomputed at construction time, so the call is O(1)
+// and allocation-free; the returned slice is shared and must not be
+// modified.
 func (t *Topology) Path(src, dst int) []int {
-	path := []int{src}
-	for src != dst {
-		src = t.NextHop(src, dst)
-		path = append(path, src)
-	}
-	return path
+	return t.paths[src][dst]
 }
 
 // Diameter returns the maximum shortest-path distance over all trap pairs.

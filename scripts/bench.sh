@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# scripts/bench.sh — run the compile benchmarks and write the perf
+# trajectory snapshot BENCH_compile.json (ns/op, B/op, allocs/op, and the
+# shuttles/op artifact metric per benchmark).
+#
+# Usage:
+#   scripts/bench.sh                 # default selection, writes BENCH_compile.json
+#   BENCH_PATTERN='.' scripts/bench.sh        # run everything
+#   BENCH_OUT=/tmp/b.json scripts/bench.sh    # alternate output path
+#   BENCH_TIME=5x scripts/bench.sh            # alternate -benchtime
+#
+# The default selection is the compile-path benchmarks whose trajectory the
+# repo tracks: the Table II/III compiles (the paper artifacts) and the public
+# Pipeline entry points. CI runs this non-gating and uploads the JSON as an
+# artifact; numbers from different hosts are comparable only to themselves.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkTableII$|BenchmarkTableIIRandom|BenchmarkTableIII|BenchmarkPipelineCompileQFT16|BenchmarkFig2DAGBuild}"
+OUT="${BENCH_OUT:-BENCH_compile.json}"
+TIME="${BENCH_TIME:-3x}"
+
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . | tee "$TXT"
+go run ./cmd/benchjson -note "${BENCH_NOTE:-}" < "$TXT" > "$OUT"
+echo "wrote $OUT"
