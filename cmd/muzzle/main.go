@@ -109,8 +109,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	machine, err := muzzle.NewLinearMachine(*traps, *capacity, *comm)
+	if err != nil {
+		return fmt.Errorf("invalid machine flags: %w", err)
+	}
 	p, err := muzzle.NewPipeline(
-		muzzle.WithMachine(muzzle.LinearMachine(*traps, *capacity, *comm)),
+		muzzle.WithMachine(machine),
 		muzzle.WithCompilers(names...),
 		muzzle.WithParallelism(*parallelism),
 	)

@@ -97,12 +97,18 @@ func run() error {
 		return fmt.Errorf("-cache-dir requires caching enabled (-cache > 0)")
 	}
 
+	machine, err := muzzle.NewLinearMachine(*traps, *capacity, *comm)
+	if err != nil {
+		return fmt.Errorf("invalid machine flags: %w", err)
+	}
+
 	mgr := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Cache:      cache,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		Cache:            cache,
+		SweepParallelism: *parallelism,
 		PipelineOptions: []muzzle.PipelineOption{
-			muzzle.WithMachine(muzzle.LinearMachine(*traps, *capacity, *comm)),
+			muzzle.WithMachine(machine),
 			muzzle.WithParallelism(*parallelism),
 		},
 	})

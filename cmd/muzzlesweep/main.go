@@ -1,0 +1,286 @@
+// Command muzzlesweep runs a declarative scenario sweep — topology family
+// x trap capacity x compiler set x circuit family — through the muzzle
+// compilation pipeline and writes deterministic JSON/CSV artifacts plus a
+// resumable manifest: re-running an interrupted sweep in the same output
+// directory executes only the unfinished cells, and re-running a finished
+// sweep reproduces report.json byte for byte.
+//
+// Usage:
+//
+//	muzzlesweep -grid grid.json [flags]
+//	muzzlesweep -topo line:6,ring:6,grid:2x3 -circuits qft:16 [flags]
+//
+// Flags:
+//
+//	-grid FILE        grid spec as JSON (see README); overrides the axis flags
+//	-topo LIST        topology axis: line:N | ring:N | grid:RxC (comma separated)
+//	-capacities LIST  trap capacity axis (default 17)
+//	-comm LIST        communication capacity axis (default 2)
+//	-compilers LIST   registry compiler set (default baseline,optimized)
+//	-circuits LIST    circuit axis: paper | qft:N | random:Q:G:SEED[:COUNT]
+//	-out DIR          artifact directory (default sweep-out)
+//	-parallelism N    concurrent cells (0 = one per CPU)
+//	-cache N          in-memory compile-cache entries (default 4096; 0 disables)
+//	-cache-dir DIR    persist cache entries as JSON under DIR (shared across runs)
+//	-timeout D        abort the sweep after this duration (0 = none)
+//	-q                suppress per-cell progress lines
+//
+// Artifacts under -out: report.json (the aggregated deterministic report),
+// report.csv (one row per cell x compiler), manifest.json and cells/ (the
+// resume state).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"muzzle"
+	"muzzle/internal/sweep"
+)
+
+// decodeGrid strictly decodes one JSON grid object: unknown fields and
+// trailing data are errors, matching the daemon's POST /v1/sweeps.
+func decodeGrid(r io.Reader, g *sweep.Grid) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(g); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after grid object")
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "muzzlesweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gridFile := flag.String("grid", "", "grid spec JSON file (overrides the axis flags)")
+	topoList := flag.String("topo", "line:6", "topology axis: line:N | ring:N | grid:RxC, comma separated")
+	capList := flag.String("capacities", "17", "trap capacity axis, comma separated")
+	commList := flag.String("comm", "2", "communication capacity axis, comma separated")
+	compilers := flag.String("compilers", "", "compiler set (default baseline,optimized)")
+	circuits := flag.String("circuits", "qft:16", "circuit axis: paper | qft:N | random:Q:G:SEED[:COUNT], comma separated")
+	out := flag.String("out", "sweep-out", "artifact directory (resumable)")
+	parallelism := flag.Int("parallelism", 0, "concurrent cells (0 = one per CPU)")
+	cacheEntries := flag.Int("cache", 4096, "in-memory compile-cache entries (0 disables caching)")
+	cacheDir := flag.String("cache-dir", "", "persist compile-cache entries under this directory")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	quiet := flag.Bool("q", false, "suppress per-cell progress lines")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", flag.Arg(0))
+	}
+
+	var grid sweep.Grid
+	if *gridFile != "" {
+		f, err := os.Open(*gridFile)
+		if err != nil {
+			return err
+		}
+		err = decodeGrid(f, &grid)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("grid %s: %w", *gridFile, err)
+		}
+	} else {
+		var err error
+		grid, err = gridFromFlags(*topoList, *capList, *commList, *compilers, *circuits)
+		if err != nil {
+			return err
+		}
+	}
+
+	var cache *muzzle.Cache
+	if *cacheEntries > 0 {
+		var err error
+		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+	} else if *cacheDir != "" {
+		return fmt.Errorf("-cache-dir requires caching enabled (-cache > 0)")
+	}
+
+	// Expand once: validation happens before any output directory is
+	// touched, so a typo'd grid never creates a half-initialized artifact
+	// dir, and the normalized grid (defaults materialized) is what runs
+	// and gets reported.
+	exp, err := sweep.Expand(grid)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Printf("sweep: %d cells (%d topologies x %d capacities x %d comm x circuits), compilers %v\n",
+		len(exp.Cells), len(exp.Grid.Topologies), len(exp.Grid.Capacities),
+		len(exp.Grid.CommCapacities), exp.Grid.Compilers)
+
+	opt := sweep.Options{Parallelism: *parallelism, Cache: cache}
+	if !*quiet {
+		opt.OnCell = func(cr sweep.CellReport) {
+			if cr.Error != "" {
+				fmt.Printf("%-48s ERROR: %s\n", cr.ID, cr.Error)
+				return
+			}
+			var parts []string
+			for _, o := range cr.Outcomes {
+				parts = append(parts, fmt.Sprintf("%s=%d", o.Compiler, o.Shuttles))
+			}
+			fmt.Printf("%-48s shuttles: %s\n", cr.ID, strings.Join(parts, " "))
+		}
+	}
+
+	rep, err := exp.RunDir(ctx, *out, opt)
+	if err != nil {
+		return err
+	}
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Printf("cache: %d hits, %d misses (%d served from disk)\n", s.Hits, s.Misses, s.DiskHits)
+	}
+	if n := rep.Failures(); n > 0 {
+		return fmt.Errorf("%d of %d cells failed (see %s/report.json)", n, len(rep.Cells), *out)
+	}
+	fmt.Printf("done: %d cells -> %s/report.json, %s/report.csv\n", len(rep.Cells), *out, *out)
+	return nil
+}
+
+// gridFromFlags synthesizes a Grid from the comma-separated axis flags.
+func gridFromFlags(topoList, capList, commList, compilers, circuits string) (sweep.Grid, error) {
+	var g sweep.Grid
+	for _, spec := range splitList(topoList) {
+		ts, err := parseTopoFlag(spec)
+		if err != nil {
+			return g, err
+		}
+		g.Topologies = append(g.Topologies, ts)
+	}
+	var err error
+	if g.Capacities, err = parseIntList("-capacities", capList); err != nil {
+		return g, err
+	}
+	if g.CommCapacities, err = parseIntList("-comm", commList); err != nil {
+		return g, err
+	}
+	if compilers != "" {
+		g.Compilers = splitList(compilers)
+	}
+	for _, spec := range splitList(circuits) {
+		cs, err := parseCircuitFlag(spec)
+		if err != nil {
+			return g, err
+		}
+		g.Circuits = append(g.Circuits, cs)
+	}
+	return g, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseTopoFlag parses line:N, ring:N, or grid:RxC.
+func parseTopoFlag(s string) (sweep.TopologySpec, error) {
+	family, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return sweep.TopologySpec{}, fmt.Errorf("-topo: %q should be line:N, ring:N, or grid:RxC", s)
+	}
+	switch family {
+	case sweep.FamilyLine, sweep.FamilyRing:
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return sweep.TopologySpec{}, fmt.Errorf("-topo: bad trap count in %q", s)
+		}
+		return sweep.TopologySpec{Family: family, Traps: n}, nil
+	case sweep.FamilyGrid:
+		rs, cs, ok := strings.Cut(arg, "x")
+		if !ok {
+			return sweep.TopologySpec{}, fmt.Errorf("-topo: grid wants RxC, got %q", s)
+		}
+		rows, err1 := strconv.Atoi(rs)
+		cols, err2 := strconv.Atoi(cs)
+		if err1 != nil || err2 != nil {
+			return sweep.TopologySpec{}, fmt.Errorf("-topo: bad grid dimensions in %q", s)
+		}
+		return sweep.TopologySpec{Family: family, Rows: rows, Cols: cols}, nil
+	default:
+		return sweep.TopologySpec{}, fmt.Errorf("-topo: unknown family %q (custom topologies need -grid)", family)
+	}
+}
+
+// parseCircuitFlag parses paper, qft:N, or random:Q:G:SEED[:COUNT].
+func parseCircuitFlag(s string) (sweep.CircuitSpec, error) {
+	kind, rest, _ := strings.Cut(s, ":")
+	switch kind {
+	case sweep.CircuitPaper:
+		if rest != "" {
+			return sweep.CircuitSpec{}, fmt.Errorf("-circuits: paper takes no arguments, got %q", s)
+		}
+		return sweep.CircuitSpec{Kind: kind}, nil
+	case sweep.CircuitQFT:
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return sweep.CircuitSpec{}, fmt.Errorf("-circuits: qft wants qft:N, got %q", s)
+		}
+		return sweep.CircuitSpec{Kind: kind, Qubits: n}, nil
+	case sweep.CircuitRandom:
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 && len(parts) != 4 {
+			return sweep.CircuitSpec{}, fmt.Errorf("-circuits: random wants random:Q:G:SEED[:COUNT], got %q", s)
+		}
+		nums := make([]int64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return sweep.CircuitSpec{}, fmt.Errorf("-circuits: bad number %q in %q", p, s)
+			}
+			nums[i] = v
+		}
+		spec := sweep.CircuitSpec{Kind: kind, Qubits: int(nums[0]), Gates2Q: int(nums[1]), Seed: nums[2]}
+		if len(nums) == 4 {
+			spec.Count = int(nums[3])
+		}
+		return spec, nil
+	default:
+		return sweep.CircuitSpec{}, fmt.Errorf("-circuits: unknown kind %q (want paper, qft:N, random:Q:G:SEED[:COUNT])", kind)
+	}
+}

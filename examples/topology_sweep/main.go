@@ -23,14 +23,20 @@ func main() {
 	fmt.Printf("workload: %d qubits, %d two-qubit gates\n\n",
 		workload.NumQubits, workload.Count2Q())
 
+	must := func(cfg muzzle.MachineConfig, err error) muzzle.MachineConfig {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cfg
+	}
 	configs := []struct {
 		name string
 		cfg  muzzle.MachineConfig
 	}{
-		{"L6 linear (paper)", muzzle.LinearMachine(6, 17, 2)},
-		{"R6 ring", muzzle.RingMachine(6, 17, 2)},
-		{"G2x3 grid", muzzle.GridMachine(2, 3, 17, 2)},
-		{"L8 linear", muzzle.LinearMachine(8, 13, 2)},
+		{"L6 linear (paper)", must(muzzle.NewLinearMachine(6, 17, 2))},
+		{"R6 ring", must(muzzle.NewRingMachine(6, 17, 2))},
+		{"G2x3 grid", must(muzzle.NewGridMachine(2, 3, 17, 2))},
+		{"L8 linear", must(muzzle.NewLinearMachine(8, 13, 2))},
 	}
 
 	fmt.Printf("%-18s %9s %10s %8s %9s\n", "topology", "baseline", "optimized", "red%", "diameter")

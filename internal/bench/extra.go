@@ -34,7 +34,7 @@ func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
 		c.Add1Q("h", q)
 	}
 	for q := 0; q < n; q++ {
-		c.MustAppend(circuit.Gate{Name: "measure", Qubits: []int{q}})
+		c.AddMeasure(q, q)
 	}
 	return c
 }

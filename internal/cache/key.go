@@ -19,7 +19,7 @@ import (
 // Compiler *semantics* are hashed only by registry name — a PR that
 // changes what a registered compiler produces must also bump this, or
 // persistent caches will serve the old binary's results.
-const keyVersion = "muzzle-cache-v1"
+const keyVersion = "muzzle-cache-v2" // v2: gate encoding gained the measure Cbit target
 
 // Key returns the content address of an evaluation: a hex SHA-256 over a
 // canonical encoding of everything that determines the result — the
@@ -37,6 +37,7 @@ func Key(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.
 	writeInt(h, len(c.Gates))
 	for _, g := range c.Gates {
 		writeString(h, g.Name)
+		writeInt(h, g.Cbit)
 		writeInt(h, len(g.Qubits))
 		for _, q := range g.Qubits {
 			writeInt(h, q)

@@ -52,6 +52,14 @@ type Gate struct {
 	Qubits []int
 	// Params are rotation angles in radians, if any.
 	Params []float64
+	// Cbit is the classical bit receiving the result of a measure gate
+	// (the c[i] target of "measure q -> c[i]" in QASM). It is ignored for
+	// every other gate kind. The zero value targets c[0], so single-measure
+	// circuits built without setting it keep their historical meaning;
+	// multi-measure generators should wire each measurement explicitly
+	// (AddMeasure) — the QASM writer emits Cbit faithfully rather than
+	// renumbering measurements sequentially.
+	Cbit int
 }
 
 // Kind derives the gate kind from the mnemonic and operand count.
@@ -191,6 +199,9 @@ func (c *Circuit) Append(g Gate) error {
 	if len(g.Qubits) == 0 {
 		return fmt.Errorf("circuit %q: gate %q has no operands", c.Name, g.Name)
 	}
+	if g.Kind() == KindMeasure && g.Cbit < 0 {
+		return fmt.Errorf("circuit %q: measure of q[%d] targets negative classical bit %d", c.Name, g.Qubits[0], g.Cbit)
+	}
 	dupOK := g.Name == "barrier"
 	for i, q := range g.Qubits {
 		if q < 0 || q >= c.NumQubits {
@@ -234,12 +245,30 @@ func (c *Circuit) Add2Q(name string, a, b int, params ...float64) {
 	c.MustAppend(Gate{Name: name, Qubits: qs, Params: c.arenaParams(params)})
 }
 
+// AddMeasure appends a measurement of qubit q into classical bit cbit.
+func (c *Circuit) AddMeasure(q, cbit int) {
+	qs := c.allocInts(1)
+	qs[0] = q
+	c.MustAppend(Gate{Name: "measure", Qubits: qs, Cbit: cbit})
+}
+
 // AddCopy appends a gate whose operand and parameter slices are copied into
 // the circuit's arena; the caller keeps ownership of the argument slices.
+// It cannot carry measurement wiring — copy measure gates with CopyGate or
+// AddMeasure so Gate.Cbit is preserved.
 func (c *Circuit) AddCopy(name string, qubits []int, params []float64) error {
 	qs := c.allocInts(len(qubits))
 	copy(qs, qubits)
 	return c.Append(Gate{Name: name, Qubits: qs, Params: c.arenaParams(params)})
+}
+
+// CopyGate appends a deep copy of g — operands, parameters, and measure
+// wiring (Cbit) — into the circuit's arena; the caller keeps ownership of
+// g's slices.
+func (c *Circuit) CopyGate(g Gate) error {
+	qs := c.allocInts(len(g.Qubits))
+	copy(qs, g.Qubits)
+	return c.Append(Gate{Name: g.Name, Qubits: qs, Params: c.arenaParams(g.Params), Cbit: g.Cbit})
 }
 
 // Count2Q returns the number of two-qubit gates.
@@ -314,7 +343,7 @@ func (c *Circuit) InteractionCount() map[int]int {
 func (c *Circuit) Clone() *Circuit {
 	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]Gate, len(c.Gates))}
 	for i, g := range c.Gates {
-		ng := Gate{Name: g.Name}
+		ng := Gate{Name: g.Name, Cbit: g.Cbit}
 		ng.Qubits = append([]int(nil), g.Qubits...)
 		if len(g.Params) > 0 {
 			ng.Params = append([]float64(nil), g.Params...)
@@ -332,6 +361,9 @@ func (c *Circuit) Validate() error {
 	for i, g := range c.Gates {
 		if len(g.Qubits) == 0 {
 			return fmt.Errorf("circuit %q: gate %d (%q) has no operands", c.Name, i, g.Name)
+		}
+		if g.Kind() == KindMeasure && g.Cbit < 0 {
+			return fmt.Errorf("circuit %q: gate %d measures q[%d] into negative classical bit %d", c.Name, i, g.Qubits[0], g.Cbit)
 		}
 		dupOK := g.Name == "barrier"
 		for j, q := range g.Qubits {

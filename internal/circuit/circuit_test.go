@@ -405,3 +405,30 @@ func TestQuickDepthBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMeasureCbitHelpers(t *testing.T) {
+	c := New("m", 3)
+	c.AddMeasure(1, 4)
+	if g := c.Gates[0]; g.Kind() != KindMeasure || g.Qubits[0] != 1 || g.Cbit != 4 {
+		t.Fatalf("AddMeasure gate = %+v", g)
+	}
+	// CopyGate preserves the classical wiring; Clone does too.
+	d := New("copy", 3)
+	if err := d.CopyGate(c.Gates[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Gates[0].Cbit != 4 {
+		t.Errorf("CopyGate dropped Cbit: %+v", d.Gates[0])
+	}
+	if cl := c.Clone(); cl.Gates[0].Cbit != 4 {
+		t.Errorf("Clone dropped Cbit: %+v", cl.Gates[0])
+	}
+	// Negative classical targets are rejected on append and by Validate.
+	if err := c.Append(Gate{Name: "measure", Qubits: []int{0}, Cbit: -1}); err == nil {
+		t.Error("Append accepted negative Cbit")
+	}
+	c.Gates = append(c.Gates, Gate{Name: "measure", Qubits: []int{0}, Cbit: -2})
+	if err := c.Validate(); err == nil {
+		t.Error("Validate accepted negative Cbit")
+	}
+}

@@ -65,7 +65,7 @@ func decomposeGate(out *Circuit, g Gate) error {
 			return err
 		}
 	case "measure":
-		out.Add1Q("measure", q[0])
+		out.AddMeasure(q[0], g.Cbit)
 	case "x":
 		out.Add1Q("r", q[0], math.Pi, 0)
 	case "y":

@@ -14,11 +14,13 @@ import (
 // Supported subset:
 //   - OPENQASM 2.0; and include "..."; headers (include is ignored)
 //   - one qreg declaration (multiple qregs are concatenated into one
-//     register, offset in declaration order) and creg declarations (ignored
-//     beyond syntax)
+//     register, offset in declaration order) and creg declarations
+//     (concatenated the same way into one classical register)
 //   - gate applications with optional parenthesised angle expressions
 //   - barrier over explicit qubits or whole registers
-//   - measure q[i] -> c[i]; (classical target ignored)
+//   - measure q[i] -> c[j]; including whole-register broadcast — the
+//     classical target is recorded on the gate (Gate.Cbit), so the
+//     measurement wiring survives a parse -> write -> parse round trip
 //
 // Gate definitions ("gate ... { }") are parsed and expanded inline when
 // applied, so files from common generators (Qiskit dumps) load correctly.
@@ -124,6 +126,7 @@ type parser struct {
 	name   string
 	regs   map[string]regInfo
 	qsize  int
+	csize  int
 	macros map[string]*macro
 }
 
@@ -258,6 +261,9 @@ func (p *parser) parseRegDecl(kind string) error {
 	if kind == "qreg" {
 		ri.offset = p.qsize
 		p.qsize += size
+	} else {
+		ri.offset = p.csize
+		p.csize += size
 	}
 	p.regs[nameTok.text] = ri
 	return nil
@@ -299,26 +305,38 @@ func (p *parser) parseQubitRef() ([]int, error) {
 	return all, nil
 }
 
-// parseCbitRef parses and discards a classical bit reference.
-func (p *parser) parseCbitRef() error {
+// parseCbitRef parses name[idx] or bare name (whole classical register) and
+// returns the global classical bit indices, offset across cregs the same
+// way qubits are offset across qregs.
+func (p *parser) parseCbitRef() ([]int, error) {
 	nameTok, err := p.expectIdent()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ri, ok := p.regs[nameTok.text]
 	if !ok || ri.kind != 'c' {
-		return p.errorf(nameTok, "unknown classical register %q", nameTok.text)
+		return nil, p.errorf(nameTok, "unknown classical register %q", nameTok.text)
 	}
 	if p.cur().kind == tokSymbol && p.cur().text == "[" {
 		p.advance()
-		if t := p.advance(); t.kind != tokNumber {
-			return p.errorf(t, "expected bit index")
+		idxTok := p.advance()
+		if idxTok.kind != tokNumber {
+			return nil, p.errorf(idxTok, "expected bit index")
+		}
+		idx, err := strconv.Atoi(idxTok.text)
+		if err != nil || idx < 0 || idx >= ri.size {
+			return nil, p.errorf(idxTok, "bit index %q out of range for %s[%d]", idxTok.text, nameTok.text, ri.size)
 		}
 		if err := p.expectSymbol("]"); err != nil {
-			return err
+			return nil, err
 		}
+		return []int{ri.offset + idx}, nil
 	}
-	return nil
+	all := make([]int, ri.size)
+	for i := range all {
+		all[i] = ri.offset + i
+	}
+	return all, nil
 }
 
 func (p *parser) parseBarrier() (func(*circuit.Circuit) error, error) {
@@ -356,15 +374,19 @@ func (p *parser) parseMeasure() (func(*circuit.Circuit) error, error) {
 	if err := p.expectSymbol("->"); err != nil {
 		return nil, err
 	}
-	if err := p.parseCbitRef(); err != nil {
+	cs, err := p.parseCbitRef()
+	if err != nil {
 		return nil, err
 	}
 	if err := p.expectSymbol(";"); err != nil {
 		return nil, err
 	}
+	if len(qs) != len(cs) {
+		return nil, p.errorf(tok, "measure maps %d qubit(s) to %d classical bit(s)", len(qs), len(cs))
+	}
 	return func(c *circuit.Circuit) error {
-		for _, q := range qs {
-			if err := c.Append(circuit.Gate{Name: "measure", Qubits: []int{q}}); err != nil {
+		for i, q := range qs {
+			if err := c.Append(circuit.Gate{Name: "measure", Qubits: []int{q}, Cbit: cs[i]}); err != nil {
 				return p.errorf(tok, "%v", err)
 			}
 		}

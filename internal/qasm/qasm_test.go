@@ -356,6 +356,214 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMeasureWiringPreserved(t *testing.T) {
+	// Non-identity measure -> creg mapping: the classical targets must
+	// survive parse -> write -> parse instead of being renumbered.
+	src := `qreg q[3];
+creg c[4];
+h q[0];
+measure q[0] -> c[3];
+measure q[1] -> c[0];
+measure q[2] -> c[2];
+`
+	c, err := Parse("wiring", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCbits := []int{3, 0, 2}
+	var got []int
+	for _, g := range c.Gates {
+		if g.Kind() == circuit.KindMeasure {
+			got = append(got, g.Cbit)
+		}
+	}
+	if len(got) != len(wantCbits) {
+		t.Fatalf("measures = %v, want %v", got, wantCbits)
+	}
+	for i := range wantCbits {
+		if got[i] != wantCbits[i] {
+			t.Fatalf("classical wiring rewired: got %v, want %v", got, wantCbits)
+		}
+	}
+	out, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{"creg c[4];", "measure q[0] -> c[3];", "measure q[1] -> c[0];", "measure q[2] -> c[2];"} {
+		if !strings.Contains(out, line) {
+			t.Errorf("output missing %q:\n%s", line, out)
+		}
+	}
+	again, err := Parse("wiring", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Gates {
+		if c.Gates[i].Cbit != again.Gates[i].Cbit {
+			t.Fatalf("gate %d cbit changed across round trip: %d != %d", i, c.Gates[i].Cbit, again.Gates[i].Cbit)
+		}
+	}
+	// And the serialized form is a fixed point.
+	out2, err := WriteString(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != out2 {
+		t.Errorf("write not stable:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestMeasureBroadcastWiring(t *testing.T) {
+	src := `qreg q[3];
+creg c[3];
+measure q -> c;
+`
+	c, err := Parse("bcast", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 3 {
+		t.Fatalf("gates = %d, want 3", len(c.Gates))
+	}
+	for i, g := range c.Gates {
+		if g.Qubits[0] != i || g.Cbit != i {
+			t.Errorf("gate %d: q[%d] -> c[%d], want q[%d] -> c[%d]", i, g.Qubits[0], g.Cbit, i, i)
+		}
+	}
+}
+
+func TestMeasureCregOffsets(t *testing.T) {
+	src := `qreg q[2];
+creg a[2];
+creg b[2];
+measure q[0] -> b[1];
+measure q[1] -> a[0];
+`
+	c, err := Parse("offs", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Cbit != 3 || c.Gates[1].Cbit != 0 {
+		t.Errorf("creg offsets wrong: cbits = %d, %d (want 3, 0)", c.Gates[0].Cbit, c.Gates[1].Cbit)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"cbit out of range", "qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[5];"},
+		{"size mismatch register", "qreg q[3];\ncreg c[2];\nmeasure q -> c;"},
+		{"size mismatch single", "qreg q[2];\ncreg c[2];\nmeasure q -> c[0];"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.name, tc.src); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestParamShortestRoundTrip(t *testing.T) {
+	c := circuit.New("fmt", 1)
+	c.Add1Q("rz", 0, 0.1)
+	c.Add1Q("rz", 0, 1e-7)
+	c.Add1Q("rz", 0, -2.5)
+	out, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "0.10000000000000001") {
+		t.Errorf("0.1 serialized with %%17g noise:\n%s", out)
+	}
+	if !strings.Contains(out, "rz(0.1)") {
+		t.Errorf("0.1 should serialize shortest:\n%s", out)
+	}
+	got, err := Parse("fmt", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range c.Gates {
+		if got.Gates[i].Params[0] != g.Params[0] {
+			t.Errorf("param %d: %v != %v (round trip must be exact)", i, got.Gates[i].Params[0], g.Params[0])
+		}
+	}
+}
+
+// TestPropertyRoundTrip is the full parse(write(parse(write(c)))) property:
+// random circuits over the native + measurement gate set, with explicit
+// classical wiring, must round-trip with exact gate, operand, classical
+// index, and parameter equality (shortest-form floats parse back bit-equal).
+func TestPropertyRoundTrip(t *testing.T) {
+	gates := []struct {
+		name  string
+		arity int
+		np    int
+	}{
+		{"r", 1, 2}, {"rz", 1, 1}, {"ms", 2, 1}, {"cx", 2, 0}, {"h", 1, 0},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		c := circuit.New("q", n)
+		for i := 0; i < rng.Intn(60); i++ {
+			spec := gates[rng.Intn(len(gates))]
+			qs := rng.Perm(n)[:spec.arity]
+			ps := make([]float64, spec.np)
+			for j := range ps {
+				ps[j] = (rng.Float64() - 0.5) * 4 * math.Pi
+			}
+			c.MustAppend(circuit.Gate{Name: spec.name, Qubits: qs, Params: ps})
+		}
+		// Shuffled classical wiring: qubit order and creg order differ.
+		for _, q := range rng.Perm(n)[:rng.Intn(n+1)] {
+			c.AddMeasure(q, rng.Intn(2*n))
+		}
+		equal := func(a, b *circuit.Circuit) bool {
+			if a.NumQubits != b.NumQubits || len(a.Gates) != len(b.Gates) {
+				return false
+			}
+			for i := range a.Gates {
+				ga, gb := a.Gates[i], b.Gates[i]
+				if ga.Name != gb.Name || ga.Cbit != gb.Cbit ||
+					len(ga.Qubits) != len(gb.Qubits) || len(ga.Params) != len(gb.Params) {
+					return false
+				}
+				for j := range ga.Qubits {
+					if ga.Qubits[j] != gb.Qubits[j] {
+						return false
+					}
+				}
+				for j := range ga.Params {
+					if ga.Params[j] != gb.Params[j] { // exact: shortest form round-trips
+						return false
+					}
+				}
+			}
+			return true
+		}
+		src, err := WriteString(c)
+		if err != nil {
+			return false
+		}
+		got, err := Parse("q", src)
+		if err != nil {
+			return false
+		}
+		if !equal(c, got) {
+			return false
+		}
+		src2, err := WriteString(got)
+		if err != nil {
+			return false
+		}
+		return src == src2 // serialized form is a fixed point
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestLexerComments(t *testing.T) {
 	src := "qreg q[1]; // trailing comment\n// full line\nh q[0];"
 	c, err := Parse("c", src)

@@ -4,14 +4,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"muzzle/internal/circuit"
 )
 
 // Write serializes the circuit as OpenQASM 2.0 to w. The output uses a
-// single register named q and a classical register c sized to the number of
-// measurements, and round-trips through Parse.
+// single quantum register named q and a classical register c sized to the
+// highest classical bit any measurement targets. Measurement wiring is
+// emitted faithfully (measure q[i] -> c[Gate.Cbit]) and parameters use the
+// shortest decimal form that round-trips exactly, so the output is stable
+// under parse -> write -> parse.
 func Write(w io.Writer, c *circuit.Circuit) error {
 	if err := c.Validate(); err != nil {
 		return fmt.Errorf("qasm: refusing to write invalid circuit: %w", err)
@@ -20,16 +24,15 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	b.WriteString("OPENQASM 2.0;\n")
 	b.WriteString("include \"qelib1.inc\";\n")
 	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
-	nMeasure := 0
+	maxCbit := -1
 	for _, g := range c.Gates {
-		if g.Kind() == circuit.KindMeasure {
-			nMeasure++
+		if g.Kind() == circuit.KindMeasure && g.Cbit > maxCbit {
+			maxCbit = g.Cbit
 		}
 	}
-	if nMeasure > 0 {
-		fmt.Fprintf(&b, "creg c[%d];\n", nMeasure)
+	if maxCbit >= 0 {
+		fmt.Fprintf(&b, "creg c[%d];\n", maxCbit+1)
 	}
-	mIdx := 0
 	for _, g := range c.Gates {
 		switch g.Kind() {
 		case circuit.KindBarrier:
@@ -42,8 +45,7 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 			}
 			b.WriteString(";\n")
 		case circuit.KindMeasure:
-			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Qubits[0], mIdx)
-			mIdx++
+			fmt.Fprintf(&b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Cbit)
 		default:
 			b.WriteString(g.Name)
 			if len(g.Params) > 0 {
@@ -52,7 +54,7 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 					if i > 0 {
 						b.WriteByte(',')
 					}
-					fmt.Fprintf(&b, "%.17g", p)
+					b.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
 				}
 				b.WriteByte(')')
 			}

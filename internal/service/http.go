@@ -8,23 +8,32 @@ import (
 	"strings"
 
 	"muzzle"
+	"muzzle/internal/sweep"
 )
 
 // Handler returns the muzzled HTTP API over this manager:
 //
-//	POST   /v1/jobs             submit a job (202 + Location)
-//	GET    /v1/jobs/{id}        job snapshot with results
-//	DELETE /v1/jobs/{id}        cancel (200; 409 when already finished)
-//	GET    /v1/jobs/{id}/stream SSE: replayed history + live events
-//	GET    /v1/compilers        registry listing
-//	GET    /healthz             liveness + uptime
-//	GET    /metrics             Prometheus-style text metrics
+//	POST   /v1/jobs               submit a job (202 + Location)
+//	GET    /v1/jobs/{id}          job snapshot with results
+//	DELETE /v1/jobs/{id}          cancel (200; 409 when already finished)
+//	GET    /v1/jobs/{id}/stream   SSE: replayed history + live events
+//	POST   /v1/sweeps             submit a scenario-sweep grid (202 + Location)
+//	GET    /v1/sweeps/{id}        sweep snapshot with aggregated report
+//	DELETE /v1/sweeps/{id}        cancel a sweep
+//	GET    /v1/sweeps/{id}/stream SSE: one "cell" event per finished cell
+//	GET    /v1/compilers          registry listing
+//	GET    /healthz               liveness + uptime
+//	GET    /metrics               Prometheus-style text metrics
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", m.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.namespaceOnly(false, m.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", m.namespaceOnly(false, m.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", m.namespaceOnly(false, m.handleStream))
+	mux.HandleFunc("POST /v1/sweeps", m.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", m.namespaceOnly(true, m.handleGet))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", m.namespaceOnly(true, m.handleCancel))
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", m.namespaceOnly(true, m.handleStream))
 	mux.HandleFunc("GET /v1/compilers", m.handleCompilers)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
@@ -70,17 +79,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	view, err := m.Submit(req)
 	if err != nil {
-		var reqErr *RequestError
-		switch {
-		case errors.As(err, &reqErr):
-			writeError(w, http.StatusBadRequest, reqErr.Code, reqErr.Err)
-		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusServiceUnavailable, "queue_full", err)
-		case errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, "shutting_down", err)
-		default:
-			writeError(w, http.StatusInternalServerError, "internal", err)
-		}
+		submitErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+view.ID)
@@ -94,6 +93,59 @@ func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// submitErr maps a Submit/SubmitSweep failure onto the API's status codes.
+func submitErr(w http.ResponseWriter, err error) {
+	var reqErr *RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		writeError(w, http.StatusBadRequest, reqErr.Code, reqErr.Err)
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "queue_full", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+func (m *Manager) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var grid sweep.Grid
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&grid); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", err)
+		return
+	}
+	view, err := m.SubmitSweep(grid)
+	if err != nil {
+		submitErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+view.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// namespaceOnly guards a generic {id} handler so each namespace serves
+// only its own job kind: /v1/sweeps rejects compile-job ids and /v1/jobs
+// rejects sweep ids, both with 404 — a mixed-up id must never fetch,
+// cancel, or stream a job of the other kind.
+func (m *Manager) namespaceOnly(wantSweep bool, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		view, err := m.Get(r.PathValue("id"))
+		if err != nil || (view.Source == "sweep") != wantSweep {
+			writeError(w, http.StatusNotFound, "not_found", ErrNotFound)
+			return
+		}
+		next(w, r)
+	}
 }
 
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {

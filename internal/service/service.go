@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"muzzle"
+	"muzzle/internal/sweep"
 )
 
 // State is a job's lifecycle phase.
@@ -101,7 +102,7 @@ type Request struct {
 // Event is one progress notification of a job, replayed to late
 // subscribers in order. Kind "state" carries a lifecycle transition; kind
 // "circuit" carries one per-circuit outcome (Result on success, Error on
-// failure).
+// failure); kind "cell" carries one sweep cell's report.
 type Event struct {
 	Seq     int                    `json:"seq"`
 	Kind    string                 `json:"kind"`
@@ -110,6 +111,7 @@ type Event struct {
 	Index   int                    `json:"index,omitempty"`
 	Circuit string                 `json:"circuit,omitempty"`
 	Result  *muzzle.EvalResultJSON `json:"result,omitempty"`
+	Cell    *sweep.CellReport      `json:"cell,omitempty"`
 	Error   string                 `json:"error,omitempty"`
 	Done    int                    `json:"done"`
 	Total   int                    `json:"total"`
@@ -119,9 +121,13 @@ type Event struct {
 const (
 	EventState   = "state"
 	EventCircuit = "circuit"
+	EventCell    = "cell"
 )
 
-// JobView is the externally visible snapshot of a job (GET /v1/jobs/{id}).
+// JobView is the externally visible snapshot of a job (GET /v1/jobs/{id},
+// GET /v1/sweeps/{id}). For sweep jobs Source is "sweep", CircuitsTotal/
+// CircuitsDone count cells, and Sweep carries the aggregated report once
+// the job is terminal (partial on cancellation).
 type JobView struct {
 	ID            string                   `json:"id"`
 	State         State                    `json:"state"`
@@ -134,14 +140,16 @@ type JobView struct {
 	CircuitsDone  int                      `json:"circuits_done"`
 	Error         string                   `json:"error,omitempty"`
 	Results       []*muzzle.EvalResultJSON `json:"results,omitempty"`
+	Sweep         *sweep.Report            `json:"sweep,omitempty"`
 }
 
 // job is the manager's internal record. Its mutable fields are guarded by
 // mu; the manager's map lock is never held while mu is.
 type job struct {
-	id   string
-	req  Request
-	circ *muzzle.Circuit // parsed QASM source (nil for random jobs)
+	id    string
+	req   Request
+	circ  *muzzle.Circuit // parsed QASM source (nil for random and sweep jobs)
+	sweep *sweep.Expanded // sweep jobs: the validated, expanded grid (nil otherwise)
 
 	mu          sync.Mutex
 	state       State
@@ -151,6 +159,7 @@ type job struct {
 	total, done int
 	errText     string
 	results     []*muzzle.EvalResultJSON
+	report      *sweep.Report // sweep jobs: aggregated report once the run ends
 	events      []Event
 	subs        map[chan Event]struct{}
 	cancel      context.CancelFunc
@@ -169,9 +178,12 @@ type Config struct {
 	// results and event history included — are dropped and their ids
 	// return 404, keeping a long-lived daemon's memory bounded.
 	JobRetention int
-	// Cache, when non-nil, is shared by every job's pipeline (and its
-	// counters are exported via Metrics and /metrics).
+	// Cache, when non-nil, is shared by every job's pipeline — sweep cells
+	// included — and its counters are exported via Metrics and /metrics.
 	Cache *muzzle.Cache
+	// SweepParallelism bounds concurrently running cells of one sweep job
+	// (0 = one per CPU).
+	SweepParallelism int
 	// PipelineOptions are the base options of every job's pipeline
 	// (machine, sim params, parallelism, ...); the request's compiler,
 	// seed, and limit overrides are appended after them.
@@ -254,17 +266,22 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// Submit validates a request, enqueues the job, and returns its initial
-// view. Validation failures are *RequestError (the HTTP layer maps them to
-// 400); a full queue is ErrQueueFull (503).
-func (m *Manager) Submit(req Request) (JobView, error) {
-	j := &job{
+// newJob returns an empty pending job record.
+func newJob() *job {
+	return &job{
 		id:      newJobID(),
-		req:     req,
 		state:   StatePending,
 		created: time.Now(),
 		subs:    make(map[chan Event]struct{}),
 	}
+}
+
+// Submit validates a request, enqueues the job, and returns its initial
+// view. Validation failures are *RequestError (the HTTP layer maps them to
+// 400); a full queue is ErrQueueFull (503).
+func (m *Manager) Submit(req Request) (JobView, error) {
+	j := newJob()
+	j.req = req
 	switch {
 	case req.QASM != "" && req.Random != nil:
 		return JobView{}, badRequest("bad_request", "request must set exactly one of qasm/random, not both")
@@ -300,6 +317,11 @@ func (m *Manager) Submit(req Request) (JobView, error) {
 		return JobView{}, badRequest("bad_request", "timeout_ms %d must be >= 0", req.TimeoutMS)
 	}
 
+	return m.enqueue(j)
+}
+
+// enqueue publishes a validated job to the worker queue and the job table.
+func (m *Manager) enqueue(j *job) (JobView, error) {
 	// Record the pending event before the job becomes visible to workers,
 	// so the replayed history is always in lifecycle order even when a
 	// worker dequeues and starts the job immediately.
@@ -452,8 +474,13 @@ func (m *Manager) view(j *job) JobView {
 		CircuitsDone:  j.done,
 		Error:         j.errText,
 		Results:       append([]*muzzle.EvalResultJSON(nil), j.results...),
+		Sweep:         j.report,
 	}
-	if j.req.Random != nil {
+	switch {
+	case j.sweep != nil:
+		v.Source = "sweep"
+		v.Compilers = append([]string(nil), j.sweep.Grid.Compilers...)
+	case j.req.Random != nil:
 		v.Source = "random"
 	}
 	return v
@@ -511,6 +538,11 @@ func (m *Manager) run(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()
+
+	if j.sweep != nil {
+		m.runSweep(ctx, j)
+		return
+	}
 
 	p, circuits, err := m.buildPipeline(j)
 	if err != nil {

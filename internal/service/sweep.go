@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"muzzle/internal/sweep"
+)
+
+// SubmitSweep validates a sweep grid and enqueues it as a job on the same
+// bounded queue compile jobs use: sweeps share the worker pool, the job
+// table, cancellation, retention, and the SSE event plumbing. Invalid
+// grids — bad topology parameters, unknown compilers, impossible capacity
+// combinations — are rejected up front as *RequestError (HTTP 400);
+// nothing a client submits can crash a worker. The expanded grid is kept
+// on the job, so topology construction happens once per submission.
+func (m *Manager) SubmitSweep(g sweep.Grid) (JobView, error) {
+	e, err := sweep.Expand(g)
+	if err != nil {
+		return JobView{}, &RequestError{Code: "bad_grid", Err: err}
+	}
+	if len(e.Cells) == 0 {
+		return JobView{}, badRequest("bad_grid", "grid expands to zero cells")
+	}
+	j := newJob()
+	j.sweep = e
+	j.total = len(e.Cells)
+	return m.enqueue(j)
+}
+
+// runSweep executes a dequeued sweep job through the sweep engine,
+// emitting one "cell" event per finished cell and attaching the
+// aggregated report to the job.
+func (m *Manager) runSweep(ctx context.Context, j *job) {
+	j.emit(Event{Kind: EventState, State: StateRunning})
+
+	rep := j.sweep.Run(ctx, sweep.Options{
+		Parallelism: m.cfg.SweepParallelism,
+		Cache:       m.cfg.Cache,
+		OnCell: func(cr sweep.CellReport) {
+			ev := Event{Kind: EventCell, Index: cr.Index, Circuit: cr.ID}
+			cell := cr
+			ev.Cell = &cell
+			if cr.Error != "" {
+				ev.Error = cr.Error
+			}
+			j.mu.Lock()
+			if cr.Error == "" {
+				j.done++
+			}
+			j.mu.Unlock()
+			j.emit(ev)
+		},
+	})
+	j.mu.Lock()
+	j.report = rep
+	j.mu.Unlock()
+
+	failures := rep.Failures()
+	switch {
+	case ctx.Err() != nil:
+		m.finish(j, StateCanceled, "")
+	case failures > 0:
+		m.finish(j, StateFailed, fmt.Sprintf("%d of %d cells failed", failures, len(j.sweep.Cells)))
+	default:
+		m.finish(j, StateDone, "")
+	}
+}

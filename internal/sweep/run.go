@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"muzzle"
+)
+
+// Options configure a sweep execution.
+type Options struct {
+	// Parallelism bounds concurrently running cells (0 = GOMAXPROCS).
+	// Each cell additionally inherits the pipeline's own defaults for
+	// per-circuit work, so this is the shard-level knob.
+	Parallelism int
+	// Cache, when non-nil, is the shared content-addressed compile cache:
+	// cells whose (circuit, machine, compilers, sim) coordinates were
+	// evaluated before — in this run, an earlier resumed run, or any other
+	// client of the same cache — are served without compiling.
+	Cache *muzzle.Cache
+	// OnCell, when non-nil, receives each finished cell's report in
+	// completion order. It is never invoked concurrently with itself.
+	OnCell func(CellReport)
+}
+
+// Run expands the grid and executes every cell, returning the aggregated
+// report. Per-cell failures (a circuit too large for a machine point, a
+// mid-run compile error) are recorded in the cell's Error field — the run
+// continues — while grid validation failures and context cancellation are
+// returned as errors. On cancellation the report still carries every
+// completed cell; unstarted cells are marked with the context error.
+func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
+	e, err := Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, opt), ctx.Err()
+}
+
+// Run executes every cell of an already-expanded grid. See the package
+// Run for the error contract; here cancellation is reported through the
+// affected cells' Error fields and the caller's ctx.
+func (e *Expanded) Run(ctx context.Context, opt Options) *Report {
+	reports := e.execute(ctx, opt, nil)
+	return &Report{Grid: e.Grid, Cells: reports}
+}
+
+// execute runs every cell not already present in preloaded through the
+// worker pool and returns the full index-ordered report list. Preloaded
+// cells (a resumed run's completed shards) are copied through without
+// re-execution and without OnCell notifications.
+func (e *Expanded) execute(ctx context.Context, opt Options, preloaded map[int]CellReport) []CellReport {
+	norm, cells := e.Grid, e.Cells
+	reports := make([]CellReport, len(cells))
+	var pending []int
+	for i := range cells {
+		if r, ok := preloaded[i]; ok {
+			reports[i] = r
+		} else {
+			pending = append(pending, i)
+		}
+	}
+
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(pending) {
+		par = len(pending)
+	}
+	jobs := make(chan int, len(pending))
+	for _, i := range pending {
+		jobs <- i
+	}
+	close(jobs)
+
+	var cbMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					// Canceled before this cell started: record the
+					// abort without invoking compilers or callbacks.
+					reports[i] = skeleton(cells[i])
+					reports[i].Error = ctx.Err().Error()
+					continue
+				}
+				rep := runCell(ctx, norm, cells[i], opt)
+				reports[i] = rep
+				if opt.OnCell != nil {
+					cbMu.Lock()
+					opt.OnCell(rep)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return reports
+}
+
+// skeleton returns a CellReport carrying just the cell's coordinates.
+func skeleton(c Cell) CellReport {
+	return CellReport{
+		Index:        c.Index,
+		ID:           c.ID,
+		Topology:     c.Topology,
+		Traps:        c.Traps,
+		Capacity:     c.Capacity,
+		CommCapacity: c.CommCapacity,
+		Circuit:      c.Circuit,
+	}
+}
+
+// runCell evaluates one cell: a pipeline over the cell's machine point and
+// the grid's compiler set, sharing the sweep-wide cache, applied to the
+// cell's circuit.
+func runCell(ctx context.Context, g Grid, cell Cell, opt Options) CellReport {
+	out := skeleton(cell)
+	popts := []muzzle.PipelineOption{
+		muzzle.WithMachine(cell.Machine),
+		muzzle.WithCompilers(g.Compilers...),
+	}
+	if g.Sim != nil {
+		popts = append(popts, muzzle.WithSimParams(*g.Sim))
+	}
+	if opt.Cache != nil {
+		popts = append(popts, muzzle.WithCache(opt.Cache))
+	}
+	p, err := muzzle.NewPipeline(popts...)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	res, err := p.EvaluateCircuit(ctx, cell.Build())
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	j := muzzle.EncodeEvalResult(res)
+	out.Qubits = j.Qubits
+	out.Gates2Q = j.Gates2Q
+	out.Outcomes = g.sortedOutcomes(j.Outcomes)
+	return out
+}

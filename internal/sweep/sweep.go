@@ -1,0 +1,370 @@
+// Package sweep is the scenario-sweep engine: it expands a declarative
+// parameter grid — topology family/size, trap capacity, communication
+// capacity, compiler set, circuit family — into a deterministic list of
+// cells (shards), executes the cells in parallel through muzzle.Pipeline,
+// and aggregates the per-cell outcomes into stable JSON/CSV artifacts.
+//
+// The grid follows the evaluation methodology of Murali et al. (ISCA
+// 2020) — the source of the L6/ring/grid topology families the paper's
+// hardware model draws on — which sweeps topology x capacity x policy to
+// compare compilers. Sharing a content-addressed compile cache
+// (muzzle.Cache) across cells and across runs makes overlapping cells
+// free: a cell that appeared in any earlier run with the same inputs is
+// served without invoking a compiler.
+//
+// Everything a grid can express is validated up front by Expand: bad
+// topology parameters (a 2-trap ring, a 0x3 grid, a disconnected custom
+// edge list), unknown compilers, and impossible capacity combinations are
+// reported as errors before any cell runs, so user-supplied grids (CLI
+// files, daemon requests) can never crash the process.
+//
+// Artifacts are deterministic: the same grid produces byte-identical
+// report JSON on every run. Wall-clock compile time is deliberately
+// excluded from cell outcomes for exactly this reason; every retained
+// metric (shuttle counts, simulated duration, fidelity) is a pure
+// function of the grid.
+package sweep
+
+import (
+	"fmt"
+
+	"muzzle"
+	"muzzle/internal/topo"
+)
+
+// Topology family names accepted by TopologySpec.
+const (
+	FamilyLine   = "line"
+	FamilyRing   = "ring"
+	FamilyGrid   = "grid"
+	FamilyCustom = "custom"
+)
+
+// TopologySpec selects one trap-interconnection graph of the grid.
+type TopologySpec struct {
+	// Family is one of "line", "ring", "grid", "custom".
+	Family string `json:"family"`
+	// Traps sizes a line or ring, and declares the trap count of a custom
+	// edge list.
+	Traps int `json:"traps,omitempty"`
+	// Rows and Cols size a grid.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Edges is the undirected edge list of a custom topology. It must be
+	// connected, with every endpoint in [0, Traps), no self-loops, and no
+	// duplicate edges.
+	Edges [][2]int `json:"edges,omitempty"`
+	// Name labels a custom topology (default "custom<Traps>"). Labels
+	// appear in cell IDs and must be unique within a grid.
+	Name string `json:"name,omitempty"`
+}
+
+// Build constructs the topology, validating every parameter.
+func (s TopologySpec) Build() (*topo.Topology, error) {
+	switch s.Family {
+	case FamilyLine:
+		return topo.NewLinear(s.Traps)
+	case FamilyRing:
+		return topo.NewRing(s.Traps)
+	case FamilyGrid:
+		return topo.NewGrid(s.Rows, s.Cols)
+	case FamilyCustom:
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("custom%d", s.Traps)
+		}
+		return topo.New(name, s.Traps, s.Edges)
+	default:
+		return nil, fmt.Errorf("sweep: unknown topology family %q (want %s|%s|%s|%s)",
+			s.Family, FamilyLine, FamilyRing, FamilyGrid, FamilyCustom)
+	}
+}
+
+// Circuit family names accepted by CircuitSpec.
+const (
+	CircuitPaper  = "paper"
+	CircuitQFT    = "qft"
+	CircuitRandom = "random"
+)
+
+// CircuitSpec selects a circuit family of the grid. "paper" expands to the
+// five NISQ benchmarks of the paper's Table II; "qft" is the Qubits-qubit
+// quantum Fourier transform; "random" draws Count seeded random circuits
+// with exactly Gates2Q two-qubit gates each (seeds Seed, Seed+1, ...).
+type CircuitSpec struct {
+	Kind    string `json:"kind"`
+	Qubits  int    `json:"qubits,omitempty"`
+	Gates2Q int    `json:"gates_2q,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Count   int    `json:"count,omitempty"`
+}
+
+// circuitInstance is one expanded circuit of a spec: a stable label plus a
+// deferred builder (the paper circuits are large; cells build lazily).
+type circuitInstance struct {
+	label string
+	build func() *muzzle.Circuit
+}
+
+// expand validates the spec and lists its circuit instances.
+func (s CircuitSpec) expand() ([]circuitInstance, error) {
+	switch s.Kind {
+	case CircuitPaper:
+		specs := muzzle.Benchmarks()
+		out := make([]circuitInstance, len(specs))
+		for i, sp := range specs {
+			out[i] = circuitInstance{label: sp.Name, build: sp.Build}
+		}
+		return out, nil
+	case CircuitQFT:
+		if s.Qubits < 1 {
+			return nil, fmt.Errorf("sweep: qft needs qubits >= 1, got %d", s.Qubits)
+		}
+		q := s.Qubits
+		return []circuitInstance{{
+			label: fmt.Sprintf("QFT%d", q),
+			build: func() *muzzle.Circuit { return muzzle.QFT(q) },
+		}}, nil
+	case CircuitRandom:
+		if s.Qubits < 2 {
+			return nil, fmt.Errorf("sweep: random circuit needs qubits >= 2, got %d", s.Qubits)
+		}
+		if s.Gates2Q < 0 {
+			return nil, fmt.Errorf("sweep: random circuit needs gates_2q >= 0, got %d", s.Gates2Q)
+		}
+		if s.Count < 0 {
+			return nil, fmt.Errorf("sweep: random circuit count %d must be >= 0", s.Count)
+		}
+		count := s.Count
+		if count == 0 {
+			count = 1
+		}
+		out := make([]circuitInstance, count)
+		for i := 0; i < count; i++ {
+			seed := s.Seed + int64(i)
+			q, g := s.Qubits, s.Gates2Q
+			out[i] = circuitInstance{
+				label: fmt.Sprintf("Random-%dq-%dg-s%d", q, g, seed),
+				build: func() *muzzle.Circuit { return muzzle.RandomCircuit(q, g, seed) },
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown circuit kind %q (want %s|%s|%s)",
+			s.Kind, CircuitPaper, CircuitQFT, CircuitRandom)
+	}
+}
+
+// Grid is a declarative parameter sweep: the cross product of topologies x
+// capacities x communication capacities x circuits, each cell evaluated
+// under the full compiler set. The zero values of the optional axes default
+// to the paper's hardware point (capacity 17, communication capacity 2)
+// and compiler pair (baseline, optimized).
+type Grid struct {
+	// Name labels the sweep in artifacts.
+	Name string `json:"name,omitempty"`
+	// Topologies are the trap graphs to sweep (at least one).
+	Topologies []TopologySpec `json:"topologies"`
+	// Capacities are the total trap capacities to sweep (default {17}).
+	Capacities []int `json:"capacities,omitempty"`
+	// CommCapacities are the communication capacities to sweep
+	// (default {2}). Every capacity/comm combination must satisfy
+	// 0 <= comm < capacity.
+	CommCapacities []int `json:"comm_capacities,omitempty"`
+	// Compilers is the registry compiler set run on every cell
+	// (default {"baseline", "optimized"}).
+	Compilers []string `json:"compilers,omitempty"`
+	// Circuits are the circuit families to sweep (at least one).
+	Circuits []CircuitSpec `json:"circuits"`
+	// Sim overrides the simulator model constants for every cell; nil uses
+	// the paper's defaults. When given, the full parameter set must be
+	// specified (absent fields are zero, and invalid combinations are
+	// rejected at expansion).
+	Sim *muzzle.SimParams `json:"sim,omitempty"`
+}
+
+// normalize returns the grid with defaulted axes materialized, so the
+// echoed grid in artifacts is self-describing and expansion is a pure
+// function of the normalized form.
+func (g Grid) normalize() Grid {
+	if len(g.Capacities) == 0 {
+		g.Capacities = []int{17}
+	}
+	if len(g.CommCapacities) == 0 {
+		g.CommCapacities = []int{2}
+	}
+	if len(g.Compilers) == 0 {
+		g.Compilers = []string{muzzle.CompilerBaseline, muzzle.CompilerOptimized}
+	}
+	return g
+}
+
+// Cell is one shard of an expanded grid: a fully resolved (topology,
+// capacity, comm, circuit) point. Cells are ordered and indexed
+// deterministically — nested loops over the grid's axes in declaration
+// order — so the same grid always expands to the same shard list.
+type Cell struct {
+	// Index is the cell's position in expansion order.
+	Index int
+	// ID is the stable cell identifier, unique within the grid:
+	// "<topology>/cap<capacity>-comm<comm>/<circuit>".
+	ID string
+	// Topology is the topology label (e.g. "L6", "R8", "G2x3").
+	Topology string
+	// Traps is the trap count of the topology.
+	Traps int
+	// Capacity and CommCapacity are the machine's capacity parameters.
+	Capacity     int
+	CommCapacity int
+	// Circuit is the circuit label (e.g. "QFT16").
+	Circuit string
+	// Machine is the validated hardware model of the cell.
+	Machine muzzle.MachineConfig
+
+	build func() *muzzle.Circuit
+}
+
+// Build constructs the cell's circuit.
+func (c Cell) Build() *muzzle.Circuit { return c.build() }
+
+// Expanded is a validated grid ready to run: the normalized grid plus its
+// deterministic cell list. It exists so expansion — topology construction
+// includes the all-pairs path precompute — happens once per submission,
+// not once per validation site and again per run.
+type Expanded struct {
+	// Grid is the normalized grid (defaulted axes materialized).
+	Grid Grid
+	// Cells is the deterministic shard list, indexed in expansion order.
+	Cells []Cell
+}
+
+// Expand validates the grid and returns it expanded: the normalized form
+// plus the deterministic cell list. Every user-visible parameter is
+// checked here — topology families and sizes, capacity combinations,
+// compiler names, circuit specs, and label collisions — so callers (the
+// CLI, the daemon's POST /v1/sweeps) can map any error to a clean
+// rejection before work starts.
+func Expand(g Grid) (*Expanded, error) {
+	g = g.normalize()
+	if len(g.Topologies) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one topology")
+	}
+	if len(g.Circuits) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one circuit")
+	}
+	seenComp := make(map[string]bool, len(g.Compilers))
+	for _, name := range g.Compilers {
+		if name == "" {
+			return nil, fmt.Errorf("sweep: empty compiler name")
+		}
+		if seenComp[name] {
+			return nil, fmt.Errorf("sweep: compiler %q listed twice", name)
+		}
+		seenComp[name] = true
+		if !muzzle.HasCompiler(name) {
+			return nil, fmt.Errorf("sweep: compiler %q is not registered (registered: %v)",
+				name, muzzle.RegisteredCompilers())
+		}
+	}
+	if g.Sim != nil {
+		for _, err := range []error{
+			g.Sim.Time.Validate(),
+			g.Sim.Heating.Validate(),
+			g.Sim.Fidelity.Validate(),
+			g.Sim.Cooling.Validate(),
+		} {
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad sim params: %w", err)
+			}
+		}
+	}
+
+	type builtTopo struct {
+		t     *topo.Topology
+		label string
+	}
+	topos := make([]builtTopo, len(g.Topologies))
+	seenTopo := make(map[string]bool, len(g.Topologies))
+	for i, spec := range g.Topologies {
+		t, err := spec.Build()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: topologies[%d]: %w", i, err)
+		}
+		if seenTopo[t.Name()] {
+			return nil, fmt.Errorf("sweep: topology label %q appears twice; give custom topologies distinct names", t.Name())
+		}
+		seenTopo[t.Name()] = true
+		topos[i] = builtTopo{t: t, label: t.Name()}
+	}
+
+	var instances []circuitInstance
+	seenCirc := make(map[string]bool)
+	for i, spec := range g.Circuits {
+		ins, err := spec.expand()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: circuits[%d]: %w", i, err)
+		}
+		for _, in := range ins {
+			if seenCirc[in.label] {
+				return nil, fmt.Errorf("sweep: circuit %q appears twice in the grid", in.label)
+			}
+			seenCirc[in.label] = true
+		}
+		instances = append(instances, ins...)
+	}
+
+	var cells []Cell
+	for _, bt := range topos {
+		for _, capacity := range g.Capacities {
+			for _, comm := range g.CommCapacities {
+				cfg := muzzle.MachineConfig{Topology: bt.t, Capacity: capacity, CommCapacity: comm}
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("sweep: %s capacity=%d comm=%d: %w", bt.label, capacity, comm, err)
+				}
+				for _, in := range instances {
+					cells = append(cells, Cell{
+						Index:        len(cells),
+						ID:           fmt.Sprintf("%s/cap%d-comm%d/%s", bt.label, capacity, comm, in.label),
+						Topology:     bt.label,
+						Traps:        bt.t.NumTraps(),
+						Capacity:     capacity,
+						CommCapacity: comm,
+						Circuit:      in.label,
+						Machine:      cfg,
+						build:        in.build,
+					})
+				}
+			}
+		}
+	}
+	return &Expanded{Grid: g, Cells: cells}, nil
+}
+
+// sortedOutcomes orders a cell's per-compiler outcomes by the grid's
+// compiler run order; helper for artifact assembly. Outcomes only ever
+// come from a pipeline configured with exactly g.Compilers, so the loop
+// covers every entry.
+func (g Grid) sortedOutcomes(outcomes map[string]*muzzle.EvalOutcomeJSON) []OutcomeSummary {
+	out := make([]OutcomeSummary, 0, len(outcomes))
+	for _, name := range g.Compilers {
+		o := outcomes[name]
+		if o == nil {
+			continue
+		}
+		out = append(out, OutcomeSummary{
+			Compiler:    name,
+			Shuttles:    o.Shuttles,
+			Swaps:       o.Swaps,
+			Splits:      o.Splits,
+			Merges:      o.Merges,
+			Reorders:    o.Reorders,
+			Rebalances:  o.Rebalances,
+			Gates1Q:     o.Gates1Q,
+			Gates2Q:     o.Gates2Q,
+			DurationUS:  o.DurationUS,
+			LogFidelity: o.LogFidelity,
+			Fidelity:    o.Fidelity,
+		})
+	}
+	return out
+}

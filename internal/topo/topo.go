@@ -171,40 +171,40 @@ func (t *Topology) Diameter() int {
 	return d
 }
 
-// Linear returns the L-n topology: n traps in a line, as in the paper's L6
-// hardware model (Section IV-A).
-func Linear(n int) *Topology {
+// MinRingTraps is the smallest valid ring: below 3 traps a cycle
+// degenerates into a duplicate edge (n=2) or a self-loop (n=1).
+const MinRingTraps = 3
+
+// NewLinear returns the L-n topology: n traps in a line, as in the paper's
+// L6 hardware model (Section IV-A). A line needs at least one trap.
+func NewLinear(n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: line needs at least 1 trap, got %d", n)
+	}
 	edges := make([][2]int, 0, n-1)
 	for i := 0; i+1 < n; i++ {
 		edges = append(edges, [2]int{i, i + 1})
 	}
-	t, err := New(fmt.Sprintf("L%d", n), n, edges)
-	if err != nil {
-		panic(err) // cannot happen for generated edges
-	}
-	return t
+	return New(fmt.Sprintf("L%d", n), n, edges)
 }
 
-// Ring returns n traps in a cycle.
-func Ring(n int) *Topology {
-	if n < 3 {
-		panic("topo: ring needs at least 3 traps")
+// NewRing returns n traps in a cycle; n must be at least MinRingTraps.
+func NewRing(n int) (*Topology, error) {
+	if n < MinRingTraps {
+		return nil, fmt.Errorf("topo: ring needs at least %d traps, got %d", MinRingTraps, n)
 	}
 	edges := make([][2]int, 0, n)
 	for i := 0; i < n; i++ {
 		edges = append(edges, [2]int{i, (i + 1) % n})
 	}
-	t, err := New(fmt.Sprintf("R%d", n), n, edges)
-	if err != nil {
-		panic(err)
-	}
-	return t
+	return New(fmt.Sprintf("R%d", n), n, edges)
 }
 
-// Grid returns a rows x cols mesh of traps, numbered row-major.
-func Grid(rows, cols int) *Topology {
+// NewGrid returns a rows x cols mesh of traps, numbered row-major. Both
+// dimensions must be positive.
+func NewGrid(rows, cols int) (*Topology, error) {
 	if rows <= 0 || cols <= 0 {
-		panic("topo: grid dimensions must be positive")
+		return nil, fmt.Errorf("topo: grid dimensions %dx%d must be positive", rows, cols)
 	}
 	var edges [][2]int
 	id := func(r, c int) int { return r*cols + c }
@@ -218,7 +218,33 @@ func Grid(rows, cols int) *Topology {
 			}
 		}
 	}
-	t, err := New(fmt.Sprintf("G%dx%d", rows, cols), rows*cols, edges)
+	return New(fmt.Sprintf("G%dx%d", rows, cols), rows*cols, edges)
+}
+
+// Linear is NewLinear for hard-coded setups (the paper's L6); it panics on
+// invalid input. User-supplied parameters must go through NewLinear.
+func Linear(n int) *Topology {
+	t, err := NewLinear(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Ring is NewRing for hard-coded setups; it panics on invalid input.
+// User-supplied parameters must go through NewRing.
+func Ring(n int) *Topology {
+	t, err := NewRing(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Grid is NewGrid for hard-coded setups; it panics on invalid input.
+// User-supplied parameters must go through NewGrid.
+func Grid(rows, cols int) *Topology {
+	t, err := NewGrid(rows, cols)
 	if err != nil {
 		panic(err)
 	}

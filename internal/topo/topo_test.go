@@ -195,3 +195,78 @@ func TestQuickNextHopProgress(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The error-returning constructors must reject every boundary violation
+// that the panicking wrappers would die on: user-supplied parameters
+// (sweep grids, daemon requests) flow through these, so a bad value must
+// surface as an error, never a crash.
+func TestValidatedConstructors(t *testing.T) {
+	bad := []struct {
+		name string
+		f    func() (*Topology, error)
+	}{
+		{"line 0", func() (*Topology, error) { return NewLinear(0) }},
+		{"line -3", func() (*Topology, error) { return NewLinear(-3) }},
+		{"ring 2", func() (*Topology, error) { return NewRing(2) }},
+		{"ring 0", func() (*Topology, error) { return NewRing(0) }},
+		{"grid 0x3", func() (*Topology, error) { return NewGrid(0, 3) }},
+		{"grid 3x-1", func() (*Topology, error) { return NewGrid(3, -1) }},
+		{"custom disconnected", func() (*Topology, error) {
+			return New("disc", 4, [][2]int{{0, 1}, {2, 3}})
+		}},
+		{"custom self-loop", func() (*Topology, error) {
+			return New("loop", 2, [][2]int{{1, 1}})
+		}},
+		{"custom duplicate edge", func() (*Topology, error) {
+			return New("dup", 2, [][2]int{{0, 1}, {1, 0}})
+		}},
+		{"custom edge out of range", func() (*Topology, error) {
+			return New("oob", 2, [][2]int{{0, 5}})
+		}},
+		{"custom isolated trap", func() (*Topology, error) {
+			return New("iso", 3, [][2]int{{0, 1}})
+		}},
+	}
+	for _, tc := range bad {
+		if tp, err := tc.f(); err == nil {
+			t.Errorf("%s: expected error, got topology %q", tc.name, tp.Name())
+		}
+	}
+
+	good := []struct {
+		name  string
+		f     func() (*Topology, error)
+		traps int
+	}{
+		{"line 1", func() (*Topology, error) { return NewLinear(1) }, 1},
+		{"line 6", func() (*Topology, error) { return NewLinear(6) }, 6},
+		{"ring 3", func() (*Topology, error) { return NewRing(MinRingTraps) }, 3},
+		{"grid 1x1", func() (*Topology, error) { return NewGrid(1, 1) }, 1},
+		{"grid 2x3", func() (*Topology, error) { return NewGrid(2, 3) }, 6},
+	}
+	for _, tc := range good {
+		tp, err := tc.f()
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if tp.NumTraps() != tc.traps {
+			t.Errorf("%s: traps = %d, want %d", tc.name, tp.NumTraps(), tc.traps)
+		}
+	}
+}
+
+// The panicking wrappers must agree with their validated counterparts.
+func TestWrapperPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Ring(2)", func() { Ring(2) })
+	mustPanic("Grid(0,3)", func() { Grid(0, 3) })
+	mustPanic("Linear(0)", func() { Linear(0) })
+}

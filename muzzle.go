@@ -145,18 +145,75 @@ func Decompose(c *Circuit) (*Circuit, error) { return circuit.Decompose(c) }
 func PaperMachine() MachineConfig { return machine.PaperL6() }
 
 // LinearMachine returns an n-trap linear machine.
+//
+// Deprecated: LinearMachine panics on invalid parameters; user-supplied
+// values must go through NewLinearMachine, which validates and returns an
+// error instead.
 func LinearMachine(traps, capacity, commCapacity int) MachineConfig {
 	return MachineConfig{Topology: topo.Linear(traps), Capacity: capacity, CommCapacity: commCapacity}
 }
 
 // GridMachine returns a rows x cols mesh machine.
+//
+// Deprecated: GridMachine panics on invalid parameters; user-supplied
+// values must go through NewGridMachine.
 func GridMachine(rows, cols, capacity, commCapacity int) MachineConfig {
 	return MachineConfig{Topology: topo.Grid(rows, cols), Capacity: capacity, CommCapacity: commCapacity}
 }
 
 // RingMachine returns an n-trap ring machine.
+//
+// Deprecated: RingMachine panics on invalid parameters; user-supplied
+// values must go through NewRingMachine.
 func RingMachine(traps, capacity, commCapacity int) MachineConfig {
 	return MachineConfig{Topology: topo.Ring(traps), Capacity: capacity, CommCapacity: commCapacity}
+}
+
+// validatedMachine assembles a MachineConfig from a topology-constructor
+// result, folding both the topology error and capacity validation into one
+// structured error. It backs every user-facing machine constructor.
+func validatedMachine(op string, t *Topology, err error, capacity, commCapacity int) (MachineConfig, error) {
+	if err != nil {
+		return MachineConfig{}, newError(ErrBadOption, op, err)
+	}
+	cfg := MachineConfig{Topology: t, Capacity: capacity, CommCapacity: commCapacity}
+	if err := cfg.Validate(); err != nil {
+		return MachineConfig{}, newError(ErrBadOption, op, err)
+	}
+	return cfg, nil
+}
+
+// NewLinearMachine returns an n-trap linear machine, validating every
+// parameter (traps >= 1, capacity > 0, 0 <= commCapacity < capacity). It
+// is the error-returning counterpart of LinearMachine for user-supplied
+// configuration (CLI flags, service requests, sweep grids).
+func NewLinearMachine(traps, capacity, commCapacity int) (MachineConfig, error) {
+	t, err := topo.NewLinear(traps)
+	return validatedMachine("NewLinearMachine", t, err, capacity, commCapacity)
+}
+
+// NewRingMachine returns an n-trap ring machine, validating every
+// parameter (traps >= 3, capacity > 0, 0 <= commCapacity < capacity).
+func NewRingMachine(traps, capacity, commCapacity int) (MachineConfig, error) {
+	t, err := topo.NewRing(traps)
+	return validatedMachine("NewRingMachine", t, err, capacity, commCapacity)
+}
+
+// NewGridMachine returns a rows x cols mesh machine, validating every
+// parameter (positive dimensions, capacity > 0, 0 <= commCapacity <
+// capacity).
+func NewGridMachine(rows, cols, capacity, commCapacity int) (MachineConfig, error) {
+	t, err := topo.NewGrid(rows, cols)
+	return validatedMachine("NewGridMachine", t, err, capacity, commCapacity)
+}
+
+// NewCustomMachine returns a machine over an arbitrary trap graph given as
+// an undirected edge list. The graph must be connected, free of self-loops
+// and duplicate edges, and every endpoint must be in [0, traps); capacity
+// parameters are validated like the other constructors.
+func NewCustomMachine(name string, traps int, edges [][2]int, capacity, commCapacity int) (MachineConfig, error) {
+	t, err := topo.New(name, traps, edges)
+	return validatedMachine("NewCustomMachine", t, err, capacity, commCapacity)
 }
 
 // NewOptimizedCompiler returns the paper's compiler: future-ops shuttle

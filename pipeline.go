@@ -117,11 +117,15 @@ func WithCompilers(names ...string) PipelineOption {
 // WithSimParams sets the simulator model constants (default: the paper's).
 func WithSimParams(params SimParams) PipelineOption {
 	return func(p *Pipeline) error {
-		if err := params.Time.Validate(); err != nil {
-			return newError(ErrBadOption, "WithSimParams", err)
-		}
-		if err := params.Cooling.Validate(); err != nil {
-			return newError(ErrBadOption, "WithSimParams", err)
+		for _, err := range []error{
+			params.Time.Validate(),
+			params.Heating.Validate(),
+			params.Fidelity.Validate(),
+			params.Cooling.Validate(),
+		} {
+			if err != nil {
+				return newError(ErrBadOption, "WithSimParams", err)
+			}
 		}
 		p.opt.Sim = params
 		return nil
