@@ -16,6 +16,12 @@ type CacheConfig struct {
 	// Dir/<k[:2]>/<k>.json (k = the hex content hash); a later process
 	// pointed at the same directory serves them without recompiling.
 	Dir string
+	// MaxDiskEntries bounds the persisted file count under Dir (0 =
+	// unbounded). Inserts past the bound delete the oldest files by
+	// modification time (reads refresh mtimes, so eviction is
+	// approximately LRU); a long-running daemon thus cannot fill its
+	// volume. Eviction and resident-file counts are exposed via Stats.
+	MaxDiskEntries int
 }
 
 // Cache is a content-addressed store of completed per-circuit evaluation
@@ -32,7 +38,7 @@ type Cache struct {
 // NewCache builds a compile cache. The persistence directory, when
 // configured, is created eagerly so path problems surface here.
 func NewCache(cfg CacheConfig) (*Cache, error) {
-	lru, err := cache.New(cache.Config{MaxEntries: cfg.MaxEntries, Dir: cfg.Dir})
+	lru, err := cache.New(cache.Config{MaxEntries: cfg.MaxEntries, Dir: cfg.Dir, MaxDiskEntries: cfg.MaxDiskEntries})
 	if err != nil {
 		return nil, newError(ErrBadOption, "NewCache", err)
 	}

@@ -26,6 +26,9 @@
 //	-svg FILE       write its trap x time Gantt chart SVG
 //	-render         print trap-occupancy snapshots
 //	-sim            simulate and print duration/fidelity
+//	-verify         replay every schedule through the independent
+//	                machine-model verifier (muzzle.Verify); any violation
+//	                is printed and fails the run
 //
 // The command is built on muzzle.Pipeline: compilers resolve from the
 // process-wide registry, and -timeout cancels the run cooperatively via
@@ -68,6 +71,7 @@ func run() error {
 	svgPath := flag.String("svg", "", "write a trap x time Gantt chart SVG to this file")
 	render := flag.Bool("render", false, "print trap-occupancy snapshots")
 	simulate := flag.Bool("sim", false, "simulate and print duration/fidelity")
+	verifyFlag := flag.Bool("verify", false, "replay every schedule through the independent verifier; violations fail the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -113,11 +117,15 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("invalid machine flags: %w", err)
 	}
-	p, err := muzzle.NewPipeline(
+	popts := []muzzle.PipelineOption{
 		muzzle.WithMachine(machine),
 		muzzle.WithCompilers(names...),
 		muzzle.WithParallelism(*parallelism),
-	)
+	}
+	if *verifyFlag {
+		popts = append(popts, muzzle.WithVerify())
+	}
+	p, err := muzzle.NewPipeline(popts...)
 	if err != nil {
 		return err
 	}
@@ -169,6 +177,15 @@ func run() error {
 		fmt.Printf("%-16s shuttles=%d swaps=%d reorders=%d rebalances=%d compile=%v (direction=%s)\n",
 			name, res.Shuttles, res.Swaps, res.Reorders, res.Rebalances,
 			res.CompileTime.Round(time.Microsecond), res.DirectionPolicy)
+		if *verifyFlag {
+			if vs := muzzle.Verify(res); len(vs) > 0 {
+				for _, v := range vs {
+					fmt.Fprintf(os.Stderr, "muzzle: %s: VIOLATION %s\n", name, v)
+				}
+				return fmt.Errorf("%s: schedule failed verification with %d violation(s)", name, len(vs))
+			}
+			fmt.Printf("%-16s schedule verified: 0 violations across %d ops\n", name, len(res.Ops))
+		}
 		if *simulate {
 			rep, err := p.Simulate(ctx, res)
 			if err != nil {

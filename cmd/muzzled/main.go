@@ -16,7 +16,12 @@
 //	-parallelism N   concurrent circuit evaluations per job (0 = one per CPU)
 //	-cache N         in-memory compile-cache entries (default 1024; 0 disables)
 //	-cache-dir DIR   persist cache entries as JSON under DIR (survives restarts)
+//	-cache-disk N    max persisted files under -cache-dir; the oldest (by
+//	                 mtime, refreshed on read) are swept past the bound
+//	                 (default 16384; 0 = unbounded)
 //	-pprof ADDR      serve net/http/pprof on ADDR (empty disables)
+//	-verify          replay every schedule through the independent
+//	                 verifier; per-job opt-in is {"verify": true}
 //	-traps N         traps in the linear topology (default 6)
 //	-capacity N      total trap capacity (default 17)
 //	-comm N          communication capacity (default 2)
@@ -67,10 +72,12 @@ func run() error {
 	parallelism := flag.Int("parallelism", 0, "concurrent circuit evaluations per job (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", 1024, "in-memory compile-cache entries (0 disables caching)")
 	cacheDir := flag.String("cache-dir", "", "persist compile-cache entries under this directory")
+	cacheDisk := flag.Int("cache-disk", 16384, "max persisted cache files under -cache-dir (0 = unbounded)")
 	traps := flag.Int("traps", 6, "number of traps in the linear topology")
 	capacity := flag.Int("capacity", 17, "total trap capacity")
 	comm := flag.Int("comm", 2, "communication capacity")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	verifyAll := flag.Bool("verify", false, "replay every schedule through the independent verifier (forces per-request verify on)")
 	flag.Parse()
 
 	// Live profiling of the compile hot paths. The profiler runs on its own
@@ -89,7 +96,7 @@ func run() error {
 	var cache *muzzle.Cache
 	if *cacheEntries > 0 {
 		var err error
-		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir})
+		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir, MaxDiskEntries: *cacheDisk})
 		if err != nil {
 			return err
 		}
@@ -107,6 +114,7 @@ func run() error {
 		QueueDepth:       *queue,
 		Cache:            cache,
 		SweepParallelism: *parallelism,
+		Verify:           *verifyAll,
 		PipelineOptions: []muzzle.PipelineOption{
 			muzzle.WithMachine(machine),
 			muzzle.WithParallelism(*parallelism),

@@ -22,8 +22,11 @@
 //	-parallelism N    concurrent cells (0 = one per CPU)
 //	-cache N          in-memory compile-cache entries (default 4096; 0 disables)
 //	-cache-dir DIR    persist cache entries as JSON under DIR (shared across runs)
+//	-cache-disk N     max persisted files under -cache-dir (0 = unbounded)
 //	-timeout D        abort the sweep after this duration (0 = none)
 //	-q                suppress per-cell progress lines
+//	-verify           replay every schedule through the independent
+//	                  machine-model verifier; violations fail the cell
 //
 // Artifacts under -out: report.json (the aggregated deterministic report),
 // report.csv (one row per cell x compiler), manifest.json and cells/ (the
@@ -78,8 +81,10 @@ func run() error {
 	parallelism := flag.Int("parallelism", 0, "concurrent cells (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", 4096, "in-memory compile-cache entries (0 disables caching)")
 	cacheDir := flag.String("cache-dir", "", "persist compile-cache entries under this directory")
+	cacheDisk := flag.Int("cache-disk", 0, "max persisted cache files under -cache-dir (0 = unbounded)")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress lines")
+	verifyFlag := flag.Bool("verify", false, "replay every schedule through the independent verifier; violations fail the cell")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (flags only)", flag.Arg(0))
@@ -107,7 +112,7 @@ func run() error {
 	var cache *muzzle.Cache
 	if *cacheEntries > 0 {
 		var err error
-		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir})
+		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir, MaxDiskEntries: *cacheDisk})
 		if err != nil {
 			return err
 		}
@@ -136,7 +141,7 @@ func run() error {
 		len(exp.Cells), len(exp.Grid.Topologies), len(exp.Grid.Capacities),
 		len(exp.Grid.CommCapacities), exp.Grid.Compilers)
 
-	opt := sweep.Options{Parallelism: *parallelism, Cache: cache}
+	opt := sweep.Options{Parallelism: *parallelism, Cache: cache, Verify: *verifyFlag}
 	if !*quiet {
 		opt.OnCell = func(cr sweep.CellReport) {
 			if cr.Error != "" {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"muzzle/internal/verify"
 )
 
 // ErrorCode classifies a public-API failure so callers can branch without
@@ -28,6 +30,10 @@ const (
 	// ErrCanceled marks a run aborted by context cancellation or timeout;
 	// errors.Is(err, context.Canceled) (or DeadlineExceeded) also holds.
 	ErrCanceled ErrorCode = "canceled"
+	// ErrVerify marks a schedule rejected by the independent verifier
+	// (WithVerify or MUZZLE_VERIFY); the cause chain contains a
+	// *muzzle.VerifyError listing the violations.
+	ErrVerify ErrorCode = "verify"
 )
 
 // Error is the structured error type of the public API: a stable code, the
@@ -65,13 +71,18 @@ func newErrorf(code ErrorCode, op, format string, args ...any) *Error {
 
 // wrapErr wraps an internal error for the public boundary under op,
 // upgrading the code to ErrCanceled when the cause chain contains a
-// context error so callers can tell aborts from genuine failures.
+// context error (so callers can tell aborts from genuine failures) and to
+// ErrVerify when it contains a verifier rejection.
 func wrapErr(code ErrorCode, op string, err error) error {
 	if err == nil {
 		return nil
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		code = ErrCanceled
+	}
+	var vErr *verify.Error
+	if errors.As(err, &vErr) {
+		code = ErrVerify
 	}
 	return &Error{Code: code, Op: op, Err: err}
 }

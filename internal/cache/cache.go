@@ -8,15 +8,21 @@
 // included); the disk tier stores the JSON summary schema of
 // internal/eval, so results reloaded from disk carry every counter and
 // simulator estimate but no trace. Disk files are sharded by the first
-// two hex digits of the key: <dir>/ab/abcdef....json. Eviction drops
-// memory entries only — disk files persist until deleted externally.
+// two hex digits of the key: <dir>/ab/abcdef....json. Memory eviction
+// drops memory entries only; the disk tier is bounded separately by
+// MaxDiskEntries — inserts past the bound trigger an mtime-ordered sweep
+// (disk hits refresh the file's mtime, making the sweep LRU-ish), so a
+// long-running daemon cannot fill its volume.
 package cache
 
 import (
 	"container/list"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"muzzle/internal/circuit"
 	"muzzle/internal/eval"
@@ -34,6 +40,13 @@ type Config struct {
 	// Dir, when non-empty, enables disk persistence rooted there. The
 	// directory is created on first use.
 	Dir string
+	// MaxDiskEntries bounds the number of persisted result files under Dir
+	// (0 = unbounded, the historical behavior). When an insert pushes the
+	// resident count past the bound, the oldest files by modification time
+	// are deleted down to the low-water mark (90% of the bound) so the
+	// sweep cost amortizes over many inserts. Reads refresh mtimes, making
+	// eviction approximately least-recently-used.
+	MaxDiskEntries int
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -51,6 +64,11 @@ type Stats struct {
 	// WriteErrors counts failed disk persistence attempts (best-effort:
 	// a failed write never fails the evaluation).
 	WriteErrors uint64 `json:"write_errors,omitempty"`
+	// DiskEntries is the current resident file count of the disk tier
+	// (0 when persistence is disabled).
+	DiskEntries int `json:"disk_entries,omitempty"`
+	// DiskEvictions counts files deleted by the MaxDiskEntries sweep.
+	DiskEvictions uint64 `json:"disk_evictions,omitempty"`
 }
 
 type entry struct {
@@ -61,31 +79,45 @@ type entry struct {
 // LRU is a goroutine-safe, bounded, content-addressed result cache. It
 // implements eval.Cache.
 type LRU struct {
-	mu    sync.Mutex
-	max   int
-	dir   string
-	ll    *list.List
-	items map[string]*list.Element
-	stats Stats
+	mu      sync.Mutex
+	max     int
+	dir     string
+	maxDisk int
+	ll      *list.List
+	items   map[string]*list.Element
+	stats   Stats
+
+	// diskMu serializes disk sweeps (listing + deleting) so concurrent
+	// inserts past the bound do not race over the same victims; the
+	// resident count itself lives in stats.DiskEntries under mu.
+	diskMu sync.Mutex
 }
 
 // New builds an LRU from cfg. When cfg.Dir is set, it is created eagerly
-// so configuration errors surface at startup rather than on first Put.
+// so configuration errors surface at startup rather than on first Put; the
+// resident disk files are counted (and swept down to any configured bound)
+// at the same time, so restarts inherit an accurate disk-tier state.
 func New(cfg Config) (*LRU, error) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = DefaultMaxEntries
+	}
+	l := &LRU{
+		max:     cfg.MaxEntries,
+		dir:     cfg.Dir,
+		maxDisk: cfg.MaxDiskEntries,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
 	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, err
 		}
+		l.stats.DiskEntries = len(l.listDisk())
+		if l.maxDisk > 0 && l.stats.DiskEntries > l.maxDisk {
+			l.sweepDisk()
+		}
 	}
-	return &LRU{
-		max:   cfg.MaxEntries,
-		dir:   cfg.Dir,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
-	}, nil
+	return l, nil
 }
 
 // Get implements eval.Cache: memory first, then the disk tier.
@@ -192,7 +224,8 @@ func (l *LRU) path(key string) string {
 }
 
 func (l *LRU) loadDisk(key string) *eval.BenchResult {
-	f, err := os.Open(l.path(key))
+	p := l.path(key)
+	f, err := os.Open(p)
 	if err != nil {
 		return nil
 	}
@@ -201,6 +234,11 @@ func (l *LRU) loadDisk(key string) *eval.BenchResult {
 	if err != nil {
 		return nil // corrupt entry: treat as miss, a fresh Put overwrites it
 	}
+	// Refresh the file's mtime so the MaxDiskEntries sweep (oldest mtime
+	// first) approximates LRU rather than FIFO. Best-effort: a failed
+	// touch only makes this entry an earlier eviction candidate.
+	now := time.Now()
+	os.Chtimes(p, now, now) //nolint:errcheck
 	return j.BenchResult()
 }
 
@@ -234,8 +272,104 @@ func (l *LRU) storeDisk(key string, r *eval.BenchResult) {
 		fail()
 		return
 	}
+	_, statErr := os.Stat(p)
+	existed := statErr == nil
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
 		fail()
+		return
 	}
+	if existed {
+		return
+	}
+	l.mu.Lock()
+	l.stats.DiskEntries++
+	over := l.maxDisk > 0 && l.stats.DiskEntries > l.maxDisk
+	l.mu.Unlock()
+	if over {
+		l.sweepDisk()
+	}
+}
+
+// diskFile is one resident entry of the disk tier.
+type diskFile struct {
+	path  string
+	mtime time.Time
+}
+
+// listDisk enumerates the resident result files under the two-level shard
+// layout, skipping in-flight temp files (dot-prefixed).
+func (l *LRU) listDisk() []diskFile {
+	var out []diskFile
+	shards, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(l.dir, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, diskFile{path: filepath.Join(l.dir, shard.Name(), name), mtime: info.ModTime()})
+		}
+	}
+	return out
+}
+
+// sweepDisk enforces MaxDiskEntries: it lists the resident files and
+// deletes the oldest by mtime down to the low-water mark (90% of the
+// bound), so the full-scan cost amortizes over the next tenth of inserts.
+// Sweeps serialize on diskMu; the counters update from the actual survivor
+// count, making the accounting self-correcting even when external actors
+// add or remove files.
+func (l *LRU) sweepDisk() {
+	l.diskMu.Lock()
+	defer l.diskMu.Unlock()
+	files := l.listDisk()
+	if len(files) <= l.maxDisk {
+		l.mu.Lock()
+		l.stats.DiskEntries = len(files)
+		l.mu.Unlock()
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path // deterministic tie-break
+	})
+	// Low-water mark: 90% of the bound, but never below one file — with
+	// MaxDiskEntries 1 the tier must keep the newest entry, not churn
+	// through delete-everything sweeps.
+	target := l.maxDisk * 9 / 10
+	if target < 1 {
+		target = 1
+	}
+	evicted := uint64(0)
+	remaining := len(files)
+	for _, f := range files {
+		if remaining <= target {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			evicted++
+			remaining--
+		}
+	}
+	l.mu.Lock()
+	l.stats.DiskEntries = remaining
+	l.stats.DiskEvictions += evicted
+	l.mu.Unlock()
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 
@@ -31,6 +32,7 @@ import (
 	"muzzle/internal/machine"
 	"muzzle/internal/registry"
 	"muzzle/internal/sim"
+	"muzzle/internal/verify"
 )
 
 // Options configure an evaluation run.
@@ -62,6 +64,27 @@ type Options struct {
 	// machine + compiler set + simulator constants. Runs with a custom
 	// Mapper bypass the cache (the mapper is not part of the key).
 	Cache Cache
+	// Verify runs the independent schedule verifier (internal/verify) on
+	// every freshly compiled result; violations fail the circuit with a
+	// typed *verify.Error. The MUZZLE_VERIFY environment variable ("1",
+	// "true", "on", "yes") forces it on regardless of this field — a debug
+	// backstop for any run reachable through RunCircuit. Cache hits that
+	// still carry their traces are re-verified too (Verify is not part of
+	// the cache key, so an entry may have been stored by a non-verifying
+	// run); disk-tier summaries have no trace to replay and pass through.
+	Verify bool
+}
+
+// envVerify reports whether the MUZZLE_VERIFY debug variable forces
+// schedule verification on. Read per compile, not cached: the lookup is
+// nanoseconds against a compile's milliseconds, and re-reading keeps the
+// knob testable and toggleable in long-lived processes.
+func envVerify() bool {
+	switch os.Getenv("MUZZLE_VERIFY") {
+	case "1", "true", "on", "yes":
+		return true
+	}
+	return false
 }
 
 // Cache is a read-through store of completed per-circuit results, keyed by
@@ -173,8 +196,19 @@ func (r *BenchResult) Improvement() float64 {
 func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchResult, error) {
 	names := opt.compilerNames()
 	useCache := opt.Cache != nil && opt.Mapper == nil
+	wantVerify := opt.Verify || envVerify()
 	if useCache {
 		if r, ok := opt.Cache.Get(c, opt.Config, names, opt.Sim); ok {
+			// The entry may have been stored by a run that did not verify
+			// (Verify is not part of the cache key), so a verifying caller
+			// re-checks hits that still carry their traces. Disk-tier
+			// summaries have no trace to replay and pass through — the
+			// compile that produced them ran this same code path.
+			if wantVerify {
+				if err := verifyCached(c, r); err != nil {
+					return nil, err
+				}
+			}
 			return r, nil
 		}
 	}
@@ -200,6 +234,12 @@ func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchRes
 		if err != nil {
 			return nil, fmt.Errorf("eval %s: %s: %w", c.Name, name, err)
 		}
+		if wantVerify {
+			if vs := verify.Result(res); len(vs) > 0 {
+				return nil, fmt.Errorf("eval %s: %w",
+					c.Name, &verify.Error{Circuit: c.Name, Compiler: name, Violations: vs})
+			}
+		}
 		rep, err := sim.SimulateContext(ctx, opt.Config, res.InitialPlacement, res.Ops, opt.Sim)
 		if err != nil {
 			return nil, fmt.Errorf("eval %s: %s sim: %w", c.Name, name, err)
@@ -210,6 +250,24 @@ func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchRes
 		opt.Cache.Put(c, opt.Config, names, opt.Sim, r)
 	}
 	return r, nil
+}
+
+// verifyCached replays a cache hit's outcomes through the verifier.
+// Summary-only outcomes (reloaded from the disk tier, no trace) are
+// skipped: they cannot be replayed, and the evaluation that wrote them
+// compiled through this same function.
+func verifyCached(c *circuit.Circuit, r *BenchResult) error {
+	for _, name := range r.Compilers {
+		o := r.Outcomes[name]
+		if o == nil || o.Result == nil || o.Result.InitialPlacement == nil {
+			continue
+		}
+		if vs := verify.Result(o.Result); len(vs) > 0 {
+			return fmt.Errorf("eval %s (cached): %w",
+				c.Name, &verify.Error{Circuit: c.Name, Compiler: name, Violations: vs})
+		}
+	}
+	return nil
 }
 
 // RunNISQ evaluates the five NISQ benchmarks of Table II, in paper order.

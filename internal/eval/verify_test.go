@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"muzzle/internal/bench"
+	"muzzle/internal/circuit"
+	"muzzle/internal/machine"
+	"muzzle/internal/sim"
+	"muzzle/internal/verify"
+)
+
+// TestRunCircuitVerifyClean pins that opting into verification does not
+// change the outcome of a legal compilation — same results, no error.
+func TestRunCircuitVerifyClean(t *testing.T) {
+	opt := smallOptions()
+	circ := bench.QFT(10)
+	plain, err := RunCircuit(context.Background(), circ, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Verify = true
+	verified, err := RunCircuit(context.Background(), circ, opt)
+	if err != nil {
+		t.Fatalf("verification rejected a legal schedule: %v", err)
+	}
+	for _, name := range verified.Compilers {
+		a, b := plain.Outcome(name), verified.Outcome(name)
+		if a.Result.Shuttles != b.Result.Shuttles {
+			t.Fatalf("%s: verification changed shuttle count %d -> %d",
+				name, a.Result.Shuttles, b.Result.Shuttles)
+		}
+	}
+}
+
+// TestRunCircuitVerifyEnvVar pins the MUZZLE_VERIFY debug backstop: the
+// environment variable alone turns verification on (observable only as
+// "still succeeds" for legal schedules — the error path is covered by the
+// verifier's own unit tests, since registry compilers cannot be coaxed
+// into emitting illegal traces).
+func TestRunCircuitVerifyEnvVar(t *testing.T) {
+	t.Setenv("MUZZLE_VERIFY", "1")
+	if !envVerify() {
+		t.Fatal("MUZZLE_VERIFY=1 not honored")
+	}
+	opt := smallOptions()
+	if _, err := RunCircuit(context.Background(), bench.QFT(8), opt); err != nil {
+		t.Fatalf("env-forced verification rejected a legal schedule: %v", err)
+	}
+	t.Setenv("MUZZLE_VERIFY", "")
+	if envVerify() {
+		t.Fatal("empty MUZZLE_VERIFY treated as on")
+	}
+	t.Setenv("MUZZLE_VERIFY", "0")
+	if envVerify() {
+		t.Fatal("MUZZLE_VERIFY=0 treated as on")
+	}
+}
+
+// mapCache is a trivial eval.Cache for tests.
+type mapCache struct{ m map[string]*BenchResult }
+
+func (c *mapCache) key(circ *circuit.Circuit) string { return circ.Name }
+func (c *mapCache) Get(circ *circuit.Circuit, _ machine.Config, _ []string, _ sim.Params) (*BenchResult, bool) {
+	r, ok := c.m[c.key(circ)]
+	return r, ok
+}
+func (c *mapCache) Put(circ *circuit.Circuit, _ machine.Config, _ []string, _ sim.Params, r *BenchResult) {
+	c.m[c.key(circ)] = r
+}
+
+// TestRunCircuitVerifyCacheHit pins that a verifying caller is not fooled
+// by a cache entry stored by a non-verifying run: hits that still carry
+// their traces are re-verified, and a tampered entry is rejected.
+func TestRunCircuitVerifyCacheHit(t *testing.T) {
+	opt := smallOptions()
+	cache := &mapCache{m: make(map[string]*BenchResult)}
+	opt.Cache = cache
+	circ := bench.QFT(8)
+	// Populate without verification.
+	if _, err := RunCircuit(context.Background(), circ, opt); err != nil {
+		t.Fatal(err)
+	}
+	// A clean hit passes verification.
+	opt.Verify = true
+	if _, err := RunCircuit(context.Background(), circ, opt); err != nil {
+		t.Fatalf("clean cache hit rejected: %v", err)
+	}
+	// Tamper with the cached trace: the verifying caller must reject it.
+	cached := cache.m[circ.Name]
+	name := cached.Compilers[0]
+	bad := *cached.Outcomes[name].Result
+	bad.Ops = bad.Ops[:len(bad.Ops)-1]
+	cached.Outcomes[name] = &Outcome{Compiler: name, Result: &bad, Sim: cached.Outcomes[name].Sim}
+	_, err := RunCircuit(context.Background(), circ, opt)
+	var vErr *verify.Error
+	if !errors.As(err, &vErr) {
+		t.Fatalf("tampered cache hit not rejected with a verify error: %v", err)
+	}
+	// Without verification the tampered hit still flows through (the
+	// historical contract: the cache is trusted unless asked otherwise).
+	opt.Verify = false
+	if _, err := RunCircuit(context.Background(), circ, opt); err != nil {
+		t.Fatalf("non-verifying run rejected a cache hit: %v", err)
+	}
+}
+
+// TestVerifyErrorTyped pins the typed-error contract consumed by the
+// service and the public boundary: a *verify.Error survives errors.As
+// through the %w wrapping RunCircuit applies.
+func TestVerifyErrorTyped(t *testing.T) {
+	inner := &verify.Error{Circuit: "c", Compiler: "x",
+		Violations: []verify.Violation{{Op: 3, Kind: verify.KindEdge, Detail: "d"}}}
+	wrapped := fmt.Errorf("eval %s: %w", "c", inner) // RunCircuit's wrapping
+	var vErr *verify.Error
+	if !errors.As(wrapped, &vErr) || len(vErr.Violations) != 1 {
+		t.Fatalf("verify.Error lost through wrapping: %v", wrapped)
+	}
+	if vErr.Violations[0].Kind != verify.KindEdge {
+		t.Fatalf("violation kind lost: %+v", vErr.Violations[0])
+	}
+}

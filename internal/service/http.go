@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"muzzle"
@@ -162,6 +163,22 @@ func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// lastEventID parses the SSE Last-Event-ID request header into the highest
+// sequence number the client has already seen, or -1 when absent or
+// malformed (malformed values degrade to a full history replay, never an
+// error — the header is advisory).
+func lastEventID(r *http.Request) int {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		return -1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
 func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 	history, live, stop, err := m.Subscribe(r.PathValue("id"))
 	if err != nil {
@@ -169,6 +186,7 @@ func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer stop()
+	lastSeen := lastEventID(r)
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "no_stream",
@@ -191,7 +209,15 @@ func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 		return true
 	}
+	// Resume semantics: a reconnecting EventSource client sends the id of
+	// the last event it processed; everything at or below that sequence
+	// number is skipped (history and, defensively, live events) so clients
+	// see each event exactly once across reconnects instead of a full
+	// replay. Event sequence numbers are per-job and strictly increasing.
 	for _, ev := range history {
+		if ev.Seq <= lastSeen {
+			continue
+		}
 		if !send(ev) {
 			return
 		}
@@ -203,6 +229,9 @@ func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 		case ev, ok := <-live:
 			if !ok {
 				return // terminal event delivered; stream complete
+			}
+			if ev.Seq <= lastSeen {
+				continue
 			}
 			if !send(ev) {
 				return
@@ -260,6 +289,12 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		b.WriteString("# HELP muzzled_cache_entries In-memory cache entries.\n")
 		b.WriteString("# TYPE muzzled_cache_entries gauge\n")
 		fmt.Fprintf(&b, "muzzled_cache_entries %d\n", met.Cache.Entries)
+		b.WriteString("# HELP muzzled_cache_disk_entries Resident files in the disk tier.\n")
+		b.WriteString("# TYPE muzzled_cache_disk_entries gauge\n")
+		fmt.Fprintf(&b, "muzzled_cache_disk_entries %d\n", met.Cache.DiskEntries)
+		b.WriteString("# HELP muzzled_cache_disk_evictions_total Disk-tier files deleted by the size bound.\n")
+		b.WriteString("# TYPE muzzled_cache_disk_evictions_total counter\n")
+		fmt.Fprintf(&b, "muzzled_cache_disk_evictions_total %d\n", met.Cache.DiskEvictions)
 	}
 
 	h := met.CompileLatency

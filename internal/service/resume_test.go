@@ -1,0 +1,176 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"muzzle/internal/service"
+)
+
+// streamEventsFrom consumes an SSE stream with an optional Last-Event-ID
+// header until the terminal state event, returning the delivered events.
+func streamEventsFrom(t *testing.T, srv *httptest.Server, path string, lastID string, timeout time.Duration) []service.Event {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	var events []service.Event
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		events = append(events, ev)
+		if ev.Kind == service.EventState && ev.State.Terminal() {
+			break
+		}
+	}
+	return events
+}
+
+// waitTerminal polls the job snapshot until it reaches a terminal state.
+func waitTerminal(t *testing.T, srv *httptest.Server, path string, timeout time.Duration) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view service.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.State.Terminal() {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal after %v (state %s)", path, timeout, view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamResumeLastEventID pins the SSE resume contract on /v1/jobs: a
+// reconnecting client presenting Last-Event-ID receives exactly the events
+// after that sequence number, not a full history replay.
+func TestStreamResumeLastEventID(t *testing.T) {
+	_, srv := newTestServer(t, service.Config{Workers: 1})
+	view := submit(t, srv, service.Request{QASM: testQASM})
+	waitTerminal(t, srv, "/v1/jobs/"+view.ID, 60*time.Second)
+
+	full := streamEventsFrom(t, srv, "/v1/jobs/"+view.ID+"/stream", "", 10*time.Second)
+	if len(full) < 3 {
+		t.Fatalf("expected at least pending/circuit/done events, got %d", len(full))
+	}
+	for i, ev := range full {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d; history replay must be gapless", i, ev.Seq)
+		}
+	}
+
+	// Reconnect claiming we saw everything up to the second-to-last event:
+	// only the terminal event may be delivered again.
+	lastSeen := full[len(full)-2].Seq
+	tail := streamEventsFrom(t, srv, "/v1/jobs/"+view.ID+"/stream", strconv.Itoa(lastSeen), 10*time.Second)
+	if len(tail) != 1 || tail[0].Seq != full[len(full)-1].Seq {
+		t.Fatalf("resume from seq %d delivered %d events (want 1 terminal), first seq %v",
+			lastSeen, len(tail), seqs(tail))
+	}
+
+	// Resuming from the very first event skips exactly one.
+	tail = streamEventsFrom(t, srv, "/v1/jobs/"+view.ID+"/stream", "0", 10*time.Second)
+	if len(tail) != len(full)-1 || tail[0].Seq != 1 {
+		t.Fatalf("resume from seq 0 delivered seqs %v, want %v", seqs(tail), seqs(full[1:]))
+	}
+
+	// A malformed header degrades to the full replay.
+	garbled := streamEventsFrom(t, srv, "/v1/jobs/"+view.ID+"/stream", "not-a-number", 10*time.Second)
+	if len(garbled) != len(full) {
+		t.Fatalf("malformed Last-Event-ID delivered %d events, want full %d", len(garbled), len(full))
+	}
+
+	// A Last-Event-ID beyond the history (the client saw everything)
+	// replays nothing and the stream still terminates.
+	none := streamEventsFrom(t, srv, "/v1/jobs/"+view.ID+"/stream", strconv.Itoa(full[len(full)-1].Seq), 10*time.Second)
+	if len(none) != 0 {
+		t.Fatalf("resume past the end delivered %d events, want 0", len(none))
+	}
+}
+
+// TestSweepStreamResumeLastEventID pins the same contract on /v1/sweeps.
+func TestSweepStreamResumeLastEventID(t *testing.T) {
+	_, srv := newTestServer(t, service.Config{Workers: 1})
+	resp := postSweep(t, srv, testGrid())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit status = %d", resp.StatusCode)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitTerminal(t, srv, "/v1/sweeps/"+view.ID, 60*time.Second)
+
+	full := streamEventsFrom(t, srv, "/v1/sweeps/"+view.ID+"/stream", "", 10*time.Second)
+	if len(full) < 3 {
+		t.Fatalf("expected pending + cell events + terminal, got %d", len(full))
+	}
+	lastSeen := full[1].Seq
+	tail := streamEventsFrom(t, srv, "/v1/sweeps/"+view.ID+"/stream", strconv.Itoa(lastSeen), 10*time.Second)
+	if len(tail) != len(full)-2 {
+		t.Fatalf("resume from seq %d delivered seqs %v, want %v", lastSeen, seqs(tail), seqs(full[2:]))
+	}
+	for i, ev := range tail {
+		if want := full[i+2].Seq; ev.Seq != want {
+			t.Fatalf("resumed event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+// TestVerifyJobEndToEnd submits a job with verification enabled and
+// expects it to pass: the compilers' schedules are legal, so opting in
+// must not change the outcome.
+func TestVerifyJobEndToEnd(t *testing.T) {
+	_, srv := newTestServer(t, service.Config{Workers: 1})
+	view := submit(t, srv, service.Request{QASM: testQASM, Verify: true})
+	final := waitTerminal(t, srv, "/v1/jobs/"+view.ID, 60*time.Second)
+	if final.State != service.StateDone {
+		t.Fatalf("verified job state = %s (error %q), want done", final.State, final.Error)
+	}
+}
+
+func seqs(evs []service.Event) []int {
+	out := make([]int, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Seq
+	}
+	return out
+}

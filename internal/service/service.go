@@ -97,6 +97,11 @@ type Request struct {
 	Compilers []string `json:"compilers,omitempty"`
 	// TimeoutMS bounds the job's run; 0 means no per-job timeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Verify runs the independent schedule verifier on every freshly
+	// compiled result of this job; violations fail the job with a typed
+	// verification error (never a panic). The daemon-wide Config.Verify
+	// forces this on for every job.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // Event is one progress notification of a job, replayed to late
@@ -188,6 +193,10 @@ type Config struct {
 	// (machine, sim params, parallelism, ...); the request's compiler,
 	// seed, and limit overrides are appended after them.
 	PipelineOptions []muzzle.PipelineOption
+	// Verify forces the independent schedule verifier on every job and
+	// sweep cell, regardless of the per-request Verify field (the muzzled
+	// -verify flag).
+	Verify bool
 }
 
 // Manager owns the job table, the bounded queue, and the worker pool.
@@ -592,6 +601,9 @@ func (m *Manager) buildPipeline(j *job) (*muzzle.Pipeline, []*muzzle.Circuit, er
 	}
 	if len(j.req.Compilers) > 0 {
 		opts = append(opts, muzzle.WithCompilers(j.req.Compilers...))
+	}
+	if j.req.Verify || m.cfg.Verify {
+		opts = append(opts, muzzle.WithVerify())
 	}
 	if j.req.Random != nil {
 		if j.req.Random.Seed != nil {

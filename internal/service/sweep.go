@@ -37,6 +37,7 @@ func (m *Manager) runSweep(ctx context.Context, j *job) {
 	rep := j.sweep.Run(ctx, sweep.Options{
 		Parallelism: m.cfg.SweepParallelism,
 		Cache:       m.cfg.Cache,
+		Verify:      m.cfg.Verify,
 		OnCell: func(cr sweep.CellReport) {
 			ev := Event{Kind: EventCell, Index: cr.Index, Circuit: cr.ID}
 			cell := cr

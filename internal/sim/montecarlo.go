@@ -18,13 +18,51 @@ type SuccessEstimate struct {
 	// Carlo estimate of program fidelity under the independent-error
 	// model.
 	Mean float64
-	// StdErr is the binomial standard error of Mean.
+	// StdErr is the binomial standard error of Mean. It collapses to 0
+	// when every trial agrees (Mean exactly 0 or 1) even though the true
+	// probability is almost never exactly at the boundary — read Low/High
+	// for honest uncertainty there.
 	StdErr float64
+	// Low and High are the bounds of the 95% Wilson score interval for the
+	// success probability. Unlike the naive ±StdErr band, the interval has
+	// positive width at Mean 0 and 1 (observing n straight failures bounds
+	// the probability near, not at, zero), so low-fidelity circuits never
+	// claim impossible certainty.
+	Low, High float64
 	// Trials is the sample count.
 	Trials int
 	// Analytic is the closed-form program fidelity (product of gate
 	// fidelities) for comparison; Mean converges to it as Trials grows.
 	Analytic float64
+}
+
+// wilsonZ is the normal quantile for the 95% confidence Wilson interval.
+const wilsonZ = 1.959963984540054
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion after observing `successes` of `trials`, at normal
+// quantile z (1.96 for 95%). Unlike the Wald interval mean ± z·StdErr, it
+// is well-behaved at the boundaries: zero successes yield [0, z²/(n+z²)]
+// rather than the degenerate [0, 0], and n of n yield [n/(n+z²), 1].
+func WilsonInterval(successes, trials int, z float64) (low, high float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	low, high = math.Max(0, center-half), math.Min(1, center+half)
+	// At the boundaries the closed forms are exact (0 and 1 respectively);
+	// snap them so floating-point roundoff cannot exclude the estimate.
+	if successes == 0 {
+		low = 0
+	}
+	if successes == trials {
+		high = 1
+	}
+	return low, high
 }
 
 // mcChunk is the number of trials per deterministic RNG chunk.
@@ -111,11 +149,21 @@ func SampleSuccess(cfg machine.Config, initial [][]int, ops []machine.Op, params
 	}
 	wg.Wait()
 
-	mean := float64(successes.Load()) / float64(trials)
+	return newSuccessEstimate(int(successes.Load()), trials, rep.Fidelity), nil
+}
+
+// newSuccessEstimate assembles the estimate from raw counts; split out so
+// the boundary cases (0 or trials successes) are testable without steering
+// the sampler onto them.
+func newSuccessEstimate(successes, trials int, analytic float64) *SuccessEstimate {
+	mean := float64(successes) / float64(trials)
+	low, high := WilsonInterval(successes, trials, wilsonZ)
 	return &SuccessEstimate{
 		Mean:     mean,
 		StdErr:   math.Sqrt(mean * (1 - mean) / float64(trials)),
+		Low:      low,
+		High:     high,
 		Trials:   trials,
-		Analytic: rep.Fidelity,
-	}, nil
+		Analytic: analytic,
+	}
 }

@@ -22,6 +22,11 @@ type Options struct {
 	// OnCell, when non-nil, receives each finished cell's report in
 	// completion order. It is never invoked concurrently with itself.
 	OnCell func(CellReport)
+	// Verify runs the independent schedule verifier on every freshly
+	// compiled result and on cache hits that still carry their traces
+	// (summary-only disk entries pass through); violations mark the cell
+	// failed (CellReport.Error) rather than aborting the sweep.
+	Verify bool
 }
 
 // Run expands the grid and executes every cell, returning the aggregated
@@ -130,6 +135,9 @@ func runCell(ctx context.Context, g Grid, cell Cell, opt Options) CellReport {
 	}
 	if opt.Cache != nil {
 		popts = append(popts, muzzle.WithCache(opt.Cache))
+	}
+	if opt.Verify {
+		popts = append(popts, muzzle.WithVerify())
 	}
 	p, err := muzzle.NewPipeline(popts...)
 	if err != nil {

@@ -47,6 +47,15 @@
 // per-job cancellation, SSE result streaming, and Prometheus-style
 // metrics — built on internal/service and sharing one cache across jobs.
 //
+// # Schedule verification
+//
+// Verify is an independent machine-model replayer: it walks a compiled
+// schedule's op stream from scratch and reports structured Violations for
+// any broken invariant (topology edges, trap capacity, gate co-location,
+// DAG order with measurement wiring, ion conservation). WithVerify turns
+// the check on for every evaluation run (violations fail with ErrVerify),
+// and MUZZLE_VERIFY=1 forces it from the environment.
+//
 // # Deprecated free functions
 //
 // The original flat-function surface (Compile, CompileBaseline, Evaluate,

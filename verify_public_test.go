@@ -1,0 +1,84 @@
+package muzzle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestVerifyPublicAPI pins muzzle.Verify end to end: a real compilation
+// verifies clean, and tampering with its trace or counters is detected.
+func TestVerifyPublicAPI(t *testing.T) {
+	p, err := NewPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Compile(context.Background(), QFT(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Verify(res); len(vs) != 0 {
+		t.Fatalf("legal schedule reported %d violations: %v", len(vs), vs)
+	}
+
+	tampered := *res
+	tampered.Ops = res.Ops[:len(res.Ops)-1]
+	if vs := Verify(&tampered); len(vs) == 0 {
+		t.Fatal("truncated trace verified clean")
+	}
+
+	counters := *res
+	counters.Shuttles++
+	vs := Verify(&counters)
+	if len(vs) == 0 {
+		t.Fatal("counter tampering verified clean")
+	}
+	if vs[0].Kind != ViolationMetadata {
+		t.Fatalf("counter tampering reported kind %s, want %s", vs[0].Kind, ViolationMetadata)
+	}
+}
+
+// TestWithVerifyPipeline pins that WithVerify leaves legal evaluations
+// untouched (the paper's artifacts cannot shift when verification is on).
+func TestWithVerifyPipeline(t *testing.T) {
+	plain, err := NewPipeline(WithRandomLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := NewPipeline(WithRandomLimit(2), WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plain.EvaluateCircuit(context.Background(), QFT(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := verified.EvaluateCircuit(context.Background(), QFT(10))
+	if err != nil {
+		t.Fatalf("verified evaluation failed on a legal schedule: %v", err)
+	}
+	for _, name := range a.Compilers {
+		if a.Outcome(name).Result.Shuttles != b.Outcome(name).Result.Shuttles {
+			t.Fatalf("%s: WithVerify changed shuttles", name)
+		}
+	}
+}
+
+// TestVerifyErrorCode pins the public error-code upgrade: a cause chain
+// containing a *VerifyError surfaces as ErrVerify.
+func TestVerifyErrorCode(t *testing.T) {
+	inner := &VerifyError{Circuit: "c", Violations: []Violation{{Op: 1, Kind: ViolationEdge, Detail: "d"}}}
+	err := wrapErr(ErrEvaluate, "Pipeline.Evaluate", fmt.Errorf("eval: %w", inner))
+	var pub *Error
+	if !errors.As(err, &pub) {
+		t.Fatalf("not a *muzzle.Error: %v", err)
+	}
+	if pub.Code != ErrVerify {
+		t.Fatalf("code = %s, want %s", pub.Code, ErrVerify)
+	}
+	var vErr *VerifyError
+	if !errors.As(err, &vErr) || len(vErr.Violations) != 1 {
+		t.Fatalf("VerifyError lost through the public wrapper: %v", err)
+	}
+}
