@@ -1,0 +1,200 @@
+// Command benchdiff maintains and inspects the repo's perf trajectory:
+// BENCH_compile.json holds one benchjson snapshot per PR (append, don't
+// overwrite), and benchdiff compares consecutive entries' ns/op so a
+// regression shows up as a warning in the PR that introduced it.
+//
+// Usage:
+//
+//	benchdiff [flags] TRAJECTORY
+//
+// With no mode flag, compares the last two entries of TRAJECTORY (a JSON
+// array of benchjson reports; a legacy single-report file counts as one
+// entry) and prints a per-benchmark delta table. Deltas past -threshold
+// are flagged as regressions; the exit status stays 0 unless -gate is set,
+// because benchmark numbers are only comparable on an idle identical host
+// and CI runners are neither.
+//
+// Flags:
+//
+//	-new FILE       compare FILE's last snapshot against TRAJECTORY's last
+//	                entry instead of comparing TRAJECTORY's last two
+//	-append FILE    append FILE's snapshots to TRAJECTORY (creating it, or
+//	                converting a legacy single-report file) and exit
+//	-threshold PCT  ns/op increase that counts as a regression (default 10)
+//	-gate           exit 1 when any benchmark regresses past the threshold
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's entry format.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report mirrors cmd/benchjson's top-level document.
+type Report struct {
+	Note       string      `json:"note,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	newFile := flag.String("new", "", "snapshot file to compare against the trajectory's last entry")
+	appendFile := flag.String("append", "", "snapshot file to append to the trajectory")
+	threshold := flag.Float64("threshold", 10, "ns/op increase (percent) that counts as a regression")
+	gate := flag.Bool("gate", false, "exit nonzero when a benchmark regresses past the threshold")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: benchdiff [flags] TRAJECTORY")
+	}
+	trajectory := flag.Arg(0)
+
+	if *appendFile != "" {
+		return appendSnapshots(trajectory, *appendFile)
+	}
+
+	prev, cur, err := pickPair(trajectory, *newFile)
+	if err != nil {
+		return err
+	}
+	regressions := diff(prev, cur, *threshold)
+	if regressions > 0 && *gate {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", regressions, *threshold)
+	}
+	return nil
+}
+
+// load reads a trajectory or snapshot file: either a JSON array of reports
+// or a legacy single-report object (which counts as a one-entry
+// trajectory).
+func load(path string) ([]Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var many []Report
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many, nil
+	}
+	var one Report
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("%s: neither a report array nor a single report: %w", path, err)
+	}
+	return []Report{one}, nil
+}
+
+// appendSnapshots rewrites the trajectory with the snapshot file's entries
+// appended, converting a legacy single-report trajectory to an array.
+func appendSnapshots(trajectory, snapshot string) error {
+	add, err := load(snapshot)
+	if err != nil {
+		return err
+	}
+	var have []Report
+	if _, err := os.Stat(trajectory); err == nil {
+		if have, err = load(trajectory); err != nil {
+			return err
+		}
+	}
+	have = append(have, add...)
+	out, err := json.MarshalIndent(have, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(trajectory, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("appended %d snapshot(s) to %s (%d total)\n", len(add), trajectory, len(have))
+	return nil
+}
+
+// pickPair selects the two reports to compare: the trajectory's last two
+// entries, or with -new, the new file's last snapshot against the
+// trajectory's last entry.
+func pickPair(trajectory, newFile string) (prev, cur Report, err error) {
+	base, err := load(trajectory)
+	if err != nil {
+		return prev, cur, err
+	}
+	if newFile != "" {
+		fresh, err := load(newFile)
+		if err != nil {
+			return prev, cur, err
+		}
+		if len(base) == 0 || len(fresh) == 0 {
+			return prev, cur, fmt.Errorf("nothing to compare: %s has %d entries, %s has %d", trajectory, len(base), newFile, len(fresh))
+		}
+		return base[len(base)-1], fresh[len(fresh)-1], nil
+	}
+	if len(base) < 2 {
+		return prev, cur, fmt.Errorf("%s has %d entries; need two to diff (or use -new)", trajectory, len(base))
+	}
+	return base[len(base)-2], base[len(base)-1], nil
+}
+
+// diff prints the per-benchmark ns/op deltas and returns how many exceeded
+// the regression threshold.
+func diff(prev, cur Report, threshold float64) int {
+	old := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		old[b.Name] = b
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	byName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	regressions := 0
+	for _, name := range names {
+		b := byName[name]
+		p, ok := old[name]
+		if !ok || p.NsPerOp == 0 {
+			fmt.Printf("%-48s %12.0f ns/op  (new)\n", name, b.NsPerOp)
+			continue
+		}
+		delta := (b.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		mark := ""
+		if delta > threshold {
+			mark = fmt.Sprintf("  REGRESSION (> %.0f%%)", threshold)
+			regressions++
+		}
+		fmt.Printf("%-48s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n", name, p.NsPerOp, b.NsPerOp, delta, mark)
+	}
+	for name := range old {
+		if _, ok := byName[name]; !ok {
+			fmt.Printf("%-48s (removed)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("WARNING: %d benchmark(s) slower than the previous snapshot by more than %.0f%%\n", regressions, threshold)
+	} else {
+		fmt.Printf("ok: no benchmark regressed more than %.0f%% vs the previous snapshot\n", threshold)
+	}
+	return regressions
+}

@@ -1,8 +1,9 @@
 // Command muzzled is the muzzle compilation service: an HTTP daemon that
 // absorbs compile/evaluate jobs into a bounded worker pool backed by
 // muzzle.Pipeline, serves repeated work from a content-addressed compile
-// cache (completed results are reused; identical jobs racing in flight
-// each compile once), and streams per-circuit results over SSE.
+// cache, coalesces identical in-flight jobs so concurrent duplicates
+// compile once, journals every job to a crash-safe write-ahead log, and
+// streams per-circuit results over SSE.
 //
 // Usage:
 //
@@ -10,35 +11,44 @@
 //
 // Flags:
 //
-//	-addr ADDR       listen address (default :8077)
-//	-workers N       concurrent jobs (default 2)
-//	-queue N         pending-job queue depth (default 256)
-//	-parallelism N   concurrent circuit evaluations per job (0 = one per CPU)
-//	-cache N         in-memory compile-cache entries (default 1024; 0 disables)
-//	-cache-dir DIR   persist cache entries as JSON under DIR (survives restarts)
-//	-cache-disk N    max persisted files under -cache-dir; the oldest (by
-//	                 mtime, refreshed on read) are swept past the bound
-//	                 (default 16384; 0 = unbounded)
-//	-pprof ADDR      serve net/http/pprof on ADDR (empty disables)
-//	-verify          replay every schedule through the independent
-//	                 verifier; per-job opt-in is {"verify": true}
-//	-traps N         traps in the linear topology (default 6)
-//	-capacity N      total trap capacity (default 17)
-//	-comm N          communication capacity (default 2)
+//	-addr ADDR        listen address (default :8077)
+//	-workers N        concurrent jobs (default 2)
+//	-queue-depth N    admission bound on pending jobs; submits past it are
+//	                  rejected with 429 + Retry-After (default 256)
+//	-parallelism N    concurrent circuit evaluations per job (0 = one per CPU)
+//	-cache N          in-memory compile-cache entries (default 1024; 0 disables)
+//	-cache-dir DIR    persist cache entries as JSON under DIR (survives restarts)
+//	-cache-disk N     max persisted files under -cache-dir; the oldest (by
+//	                  mtime, refreshed on read) are swept past the bound
+//	                  (default 16384; 0 = unbounded)
+//	-journal DIR      job journal directory (default <cache-dir>/journal when
+//	                  -cache-dir is set; empty otherwise disables durability).
+//	                  Jobs a dead daemon owed are recovered on restart.
+//	-drain-timeout D  how long SIGTERM/SIGINT lets running jobs finish before
+//	                  hard-canceling them (default 15s)
+//	-pprof ADDR       serve net/http/pprof on ADDR (empty disables)
+//	-verify           replay every schedule through the independent
+//	                  verifier; per-job opt-in is {"verify": true}
+//	-traps N          traps in the linear topology (default 6)
+//	-capacity N       total trap capacity (default 17)
+//	-comm N           communication capacity (default 2)
 //
 // Endpoints:
 //
 //	POST   /v1/jobs             submit {"qasm": ...} or {"random": {...}}
 //	GET    /v1/jobs/{id}        job snapshot with per-circuit results
-//	DELETE /v1/jobs/{id}        cancel a pending or running job
+//	DELETE /v1/jobs/{id}        cancel a pending or running job (durable)
 //	GET    /v1/jobs/{id}/stream SSE per-circuit events (history replayed)
+//	POST   /v1/sweeps           submit a scenario-sweep grid
 //	GET    /v1/compilers        compiler registry listing
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness ("ok" or "draining") + queue depth
 //	GET    /metrics             Prometheus-style metrics
 //
-// SIGINT/SIGTERM drain gracefully: the listener stops, running jobs are
-// canceled cooperatively (the context plumbing reaches the compiler
-// scheduling loop), and the process exits once the workers are idle.
+// SIGINT/SIGTERM drain gracefully: new submissions are refused (503), the
+// listener stops, running jobs get -drain-timeout to finish (stragglers
+// are canceled and recovered as pending by the next start), queued jobs
+// stay pending in the journal, and the journal is checkpointed before the
+// process exits 0.
 package main
 
 import (
@@ -51,11 +61,13 @@ import (
 	_ "net/http/pprof" // registered on the default mux, served only via -pprof
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"muzzle"
 	"muzzle/internal/service"
+	"muzzle/internal/store"
 )
 
 func main() {
@@ -68,11 +80,14 @@ func main() {
 func run() error {
 	addr := flag.String("addr", ":8077", "listen address")
 	workers := flag.Int("workers", 2, "concurrent jobs")
-	queue := flag.Int("queue", 256, "pending-job queue depth")
+	queueDepth := flag.Int("queue-depth", 256, "admission bound on pending jobs (submits past it get 429)")
+	flag.IntVar(queueDepth, "queue", 256, "alias for -queue-depth")
 	parallelism := flag.Int("parallelism", 0, "concurrent circuit evaluations per job (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", 1024, "in-memory compile-cache entries (0 disables caching)")
 	cacheDir := flag.String("cache-dir", "", "persist compile-cache entries under this directory")
 	cacheDisk := flag.Int("cache-disk", 16384, "max persisted cache files under -cache-dir (0 = unbounded)")
+	journalDir := flag.String("journal", "", "job journal directory (default <cache-dir>/journal; empty without -cache-dir disables durability)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown lets running jobs finish")
 	traps := flag.Int("traps", 6, "number of traps in the linear topology")
 	capacity := flag.Int("capacity", 17, "total trap capacity")
 	comm := flag.Int("comm", 2, "communication capacity")
@@ -104,6 +119,28 @@ func run() error {
 		return fmt.Errorf("-cache-dir requires caching enabled (-cache > 0)")
 	}
 
+	// The journal defaults into the disk-cache directory because the two
+	// are designed to restart together: the journal re-enqueues the jobs a
+	// dead daemon owed, and the persisted cache makes re-running their
+	// completed circuits free.
+	jdir := *journalDir
+	if jdir == "" && *cacheDir != "" {
+		jdir = filepath.Join(*cacheDir, "journal")
+	}
+	var journal *store.Journal
+	if jdir != "" {
+		var err error
+		journal, err = store.Open(jdir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if s := journal.Stats(); s.Jobs > 0 || s.TruncatedBytes > 0 {
+			log.Printf("journal %s: %d jobs replayed (%d WAL records, %d torn bytes truncated)",
+				jdir, s.Jobs, s.Replayed, s.TruncatedBytes)
+		}
+	}
+
 	machine, err := muzzle.NewLinearMachine(*traps, *capacity, *comm)
 	if err != nil {
 		return fmt.Errorf("invalid machine flags: %w", err)
@@ -111,8 +148,10 @@ func run() error {
 
 	mgr := service.New(service.Config{
 		Workers:          *workers,
-		QueueDepth:       *queue,
+		QueueDepth:       *queueDepth,
 		Cache:            cache,
+		Flight:           muzzle.NewFlight(),
+		Journal:          journal,
 		SweepParallelism: *parallelism,
 		Verify:           *verifyAll,
 		PipelineOptions: []muzzle.PipelineOption{
@@ -128,8 +167,8 @@ func run() error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("muzzled listening on %s (workers=%d, cache=%d entries, dir=%q)",
-			*addr, *workers, *cacheEntries, *cacheDir)
+		log.Printf("muzzled listening on %s (workers=%d, queue-depth=%d, cache=%d entries, dir=%q, journal=%q)",
+			*addr, *workers, *queueDepth, *cacheEntries, *cacheDir, jdir)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -142,14 +181,18 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	// Drain order matters: closing the manager first cancels every job,
-	// which terminates their SSE streams, which lets Shutdown's wait for
-	// active handlers finish. The other way around, a connected stream
-	// would stall Shutdown until its timeout.
-	log.Printf("muzzled draining...")
-	mgr.Close()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Drain order matters: the manager drains first — admission stops (new
+	// submits get 503), running jobs finish within the deadline, and their
+	// terminal events close the SSE streams — so Shutdown's wait for active
+	// handlers can complete. The other way around, a connected stream would
+	// stall Shutdown until its timeout. Queued jobs are deliberately left
+	// untouched: the journal holds them as pending for the next start.
+	log.Printf("muzzled draining (timeout %s)...", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	mgr.Drain(drainCtx)
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

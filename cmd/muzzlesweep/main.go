@@ -141,7 +141,11 @@ func run() error {
 		len(exp.Cells), len(exp.Grid.Topologies), len(exp.Grid.Capacities),
 		len(exp.Grid.CommCapacities), exp.Grid.Compilers)
 
-	opt := sweep.Options{Parallelism: *parallelism, Cache: cache, Verify: *verifyFlag}
+	// A sweep-wide flight group: a grid with overlapping coordinates (the
+	// same circuit under machine points that hash identically) coalesces
+	// concurrent duplicate cells instead of relying on cell ordering to
+	// serialize them through the cache.
+	opt := sweep.Options{Parallelism: *parallelism, Cache: cache, Flight: muzzle.NewFlight(), Verify: *verifyFlag}
 	if !*quiet {
 		opt.OnCell = func(cr sweep.CellReport) {
 			if cr.Error != "" {

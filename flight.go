@@ -1,0 +1,44 @@
+package muzzle
+
+import (
+	"muzzle/internal/eval"
+	"muzzle/internal/flight"
+)
+
+// Flight coalesces concurrent identical evaluations: callers that miss the
+// compile cache on the same content key share one compile+simulate
+// execution instead of each paying their own. It closes the cache's one
+// blind spot — the cache dedups *completed* work, a flight group dedups
+// *in-progress* work — so duplicate requests racing through the muzzled
+// daemon, a sweep, and the CLI at once still cost exactly one compile.
+// Install one with WithFlight; a single Flight is safe to share across
+// pipelines and goroutines, and sharing is the point: coalescing only
+// happens between pipelines that share the same group.
+type Flight struct {
+	g flight.Group[*eval.BenchResult]
+}
+
+// NewFlight builds an empty coalescing group.
+func NewFlight() *Flight { return &Flight{} }
+
+// FlightStats snapshot a group's coalescing counters.
+type FlightStats = flight.Stats
+
+// Stats returns a point-in-time snapshot of execution/coalesce counters.
+func (f *Flight) Stats() FlightStats { return f.g.Stats() }
+
+// WithFlight installs a coalescing group on the pipeline: evaluation runs
+// that miss the cache (or run uncached) share in-flight executions with
+// every other pipeline holding the same group, keyed by the same content
+// hash the cache uses. Runs with a custom WithMapper bypass coalescing for
+// the same reason they bypass the cache: the mapper is not part of the
+// hash.
+func WithFlight(f *Flight) PipelineOption {
+	return func(p *Pipeline) error {
+		if f == nil {
+			return newErrorf(ErrBadOption, "WithFlight", "flight must not be nil")
+		}
+		p.opt.Flight = &f.g
+		return nil
+	}
+}

@@ -1,102 +1,17 @@
 package cache
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
-	"fmt"
-	"hash"
-	"math"
-
 	"muzzle/internal/circuit"
+	"muzzle/internal/ckey"
 	"muzzle/internal/machine"
 	"muzzle/internal/sim"
 )
 
-// keyVersion guards the canonical encoding below: bump it whenever the
-// byte layout (or the meaning of any hashed field) changes, so stale disk
-// entries from older binaries can never be mistaken for current ones.
-// Compiler *semantics* are hashed only by registry name — a PR that
-// changes what a registered compiler produces must also bump this, or
-// persistent caches will serve the old binary's results.
-const keyVersion = "muzzle-cache-v2" // v2: gate encoding gained the measure Cbit target
-
-// Key returns the content address of an evaluation: a hex SHA-256 over a
-// canonical encoding of everything that determines the result — the
-// circuit (name, register size, every gate with operands and angles), the
-// machine (topology structure, capacities), the compiler set in run order,
-// and the simulator constants. Two evaluations share a key if and only if
-// they would produce the same result; changing any field changes the key.
+// Key returns the content address of an evaluation. The canonical encoding
+// lives in internal/ckey — a leaf package — so the evaluation harness can
+// compute the exact same key for single-flight coalescing without
+// importing the cache; see ckey.Key for the hashing contract and
+// ckey.Version for the compatibility rules.
 func Key(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.Params) string {
-	h := sha256.New()
-	writeString(h, keyVersion)
-
-	// Circuit: name, register, gate stream.
-	writeString(h, c.Name)
-	writeInt(h, c.NumQubits)
-	writeInt(h, len(c.Gates))
-	for _, g := range c.Gates {
-		writeString(h, g.Name)
-		writeInt(h, g.Cbit)
-		writeInt(h, len(g.Qubits))
-		for _, q := range g.Qubits {
-			writeInt(h, q)
-		}
-		writeInt(h, len(g.Params))
-		for _, p := range g.Params {
-			writeFloat(h, p)
-		}
-	}
-
-	// Machine: topology identity is its structure (trap count + adjacency),
-	// not just its name, so a custom topology registered under a reused
-	// name still hashes distinctly.
-	if cfg.Topology != nil {
-		writeString(h, cfg.Topology.Name())
-		n := cfg.Topology.NumTraps()
-		writeInt(h, n)
-		for i := 0; i < n; i++ {
-			neigh := cfg.Topology.Neighbors(i)
-			writeInt(h, len(neigh))
-			for _, v := range neigh {
-				writeInt(h, v)
-			}
-		}
-	} else {
-		writeString(h, "<nil-topology>")
-	}
-	writeInt(h, cfg.Capacity)
-	writeInt(h, cfg.CommCapacity)
-
-	// Compiler set, in run order (order affects nothing but is part of the
-	// result's Compilers column ordering, so it is part of the identity).
-	writeInt(h, len(compilers))
-	for _, name := range compilers {
-		writeString(h, name)
-	}
-
-	// Simulator constants: sim.Params is a tree of value structs (floats
-	// and bools only), so the reflected Go-syntax rendering is a canonical
-	// encoding that automatically covers future fields.
-	fmt.Fprintf(h, "%#v", params)
-
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// writeString hashes a length-prefixed string (unambiguous concatenation).
-func writeString(h hash.Hash, s string) {
-	writeInt(h, len(s))
-	h.Write([]byte(s))
-}
-
-func writeInt(h hash.Hash, v int) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-	h.Write(buf[:])
-}
-
-func writeFloat(h hash.Hash, v float64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-	h.Write(buf[:])
+	return ckey.Key(c, cfg, compilers, params)
 }

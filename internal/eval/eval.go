@@ -27,8 +27,10 @@ import (
 
 	"muzzle/internal/bench"
 	"muzzle/internal/circuit"
+	"muzzle/internal/ckey"
 	"muzzle/internal/compiler"
 	"muzzle/internal/fidelity"
+	"muzzle/internal/flight"
 	"muzzle/internal/machine"
 	"muzzle/internal/registry"
 	"muzzle/internal/sim"
@@ -64,6 +66,15 @@ type Options struct {
 	// machine + compiler set + simulator constants. Runs with a custom
 	// Mapper bypass the cache (the mapper is not part of the key).
 	Cache Cache
+	// Flight, when non-nil, coalesces concurrent identical evaluations:
+	// callers that miss the cache on the same content key share one
+	// compile+simulate execution instead of racing. The group is keyed by
+	// the exact key the cache uses (internal/ckey), so any two requests the
+	// cache would dedup after the fact coalesce while in flight. Runs with
+	// a custom Mapper bypass coalescing for the same reason they bypass the
+	// cache: the mapper is not part of the key. The cache (when present) is
+	// checked before the group, so cache hits never touch the group's lock.
+	Flight *flight.Group[*BenchResult]
 	// Verify runs the independent schedule verifier (internal/verify) on
 	// every freshly compiled result; violations fail the circuit with a
 	// typed *verify.Error. The MUZZLE_VERIFY environment variable ("1",
@@ -97,6 +108,37 @@ type Cache interface {
 	Get(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.Params) (*BenchResult, bool)
 	// Put stores a completed result under the evaluation inputs.
 	Put(c *circuit.Circuit, cfg machine.Config, compilers []string, params sim.Params, r *BenchResult)
+}
+
+// KeyedCache is an optional Cache extension for stores addressed by the
+// canonical content key (internal/ckey). When the configured Cache
+// implements it, RunCircuit hashes the evaluation inputs once and uses the
+// same key for the cache lookup, the cache fill, and the single-flight
+// group, instead of re-hashing inside every call. internal/cache.LRU
+// satisfies this.
+type KeyedCache interface {
+	Cache
+	// GetKey returns the cached result stored under a content key.
+	GetKey(key string) (*BenchResult, bool)
+	// PutKey stores a completed result under a content key.
+	PutKey(key string, r *BenchResult)
+}
+
+// cacheGet consults the cache, by precomputed key when supported.
+func cacheGet(cc Cache, key string, c *circuit.Circuit, cfg machine.Config, names []string, params sim.Params) (*BenchResult, bool) {
+	if kc, ok := cc.(KeyedCache); ok {
+		return kc.GetKey(key)
+	}
+	return cc.Get(c, cfg, names, params)
+}
+
+// cachePut stores a result, by precomputed key when supported.
+func cachePut(cc Cache, key string, c *circuit.Circuit, cfg machine.Config, names []string, params sim.Params, r *BenchResult) {
+	if kc, ok := cc.(KeyedCache); ok {
+		kc.PutKey(key, r)
+		return
+	}
+	cc.Put(c, cfg, names, params, r)
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -192,13 +234,21 @@ func (r *BenchResult) Improvement() float64 {
 // RunCircuit evaluates one circuit under every configured compiler and the
 // simulator. The input circuit is not modified. When Options.Cache is set
 // (and no custom Mapper is installed), a cached result is returned without
-// invoking any compiler, and fresh results are stored on the way out.
+// invoking any compiler, and fresh results are stored on the way out. When
+// Options.Flight is also set, concurrent callers that miss the cache on the
+// same content key share a single execution.
 func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchResult, error) {
 	names := opt.compilerNames()
 	useCache := opt.Cache != nil && opt.Mapper == nil
+	useFlight := opt.Flight != nil && opt.Mapper == nil
 	wantVerify := opt.Verify || envVerify()
+
+	var key string
+	if useCache || useFlight {
+		key = ckey.Key(c, opt.Config, names, opt.Sim)
+	}
 	if useCache {
-		if r, ok := opt.Cache.Get(c, opt.Config, names, opt.Sim); ok {
+		if r, ok := cacheGet(opt.Cache, key, c, opt.Config, names, opt.Sim); ok {
 			// The entry may have been stored by a run that did not verify
 			// (Verify is not part of the cache key), so a verifying caller
 			// re-checks hits that still carry their traces. Disk-tier
@@ -212,6 +262,38 @@ func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchRes
 			return r, nil
 		}
 	}
+	if !useFlight {
+		return compileAll(ctx, c, opt, names, key, useCache, wantVerify)
+	}
+	r, shared, err := opt.Flight.Do(ctx, key, func(ctx context.Context) (*BenchResult, error) {
+		// A previous leader may have filled the cache between this caller's
+		// miss above and its promotion to leader; re-checking here keeps the
+		// miss→promotion race from paying a second compile.
+		if useCache {
+			if r, ok := cacheGet(opt.Cache, key, c, opt.Config, names, opt.Sim); ok {
+				return r, nil
+			}
+		}
+		return compileAll(ctx, c, opt, names, key, useCache, wantVerify)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A shared result was produced under the *leader's* options, which may
+	// not have verified (Verify is not part of the key) — same situation as
+	// a cache hit, with the same remedy.
+	if shared && wantVerify {
+		if err := verifyCached(c, r); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// compileAll runs every configured compiler and the simulator on c and
+// fills the cache on success — the single-execution body behind both the
+// direct and the coalesced paths of RunCircuit.
+func compileAll(ctx context.Context, c *circuit.Circuit, opt Options, names []string, key string, useCache, wantVerify bool) (*BenchResult, error) {
 	r := &BenchResult{
 		Name:      c.Name,
 		Qubits:    c.NumQubits,
@@ -247,7 +329,7 @@ func RunCircuit(ctx context.Context, c *circuit.Circuit, opt Options) (*BenchRes
 		r.Outcomes[name] = &Outcome{Compiler: name, Result: res, Sim: rep}
 	}
 	if useCache {
-		opt.Cache.Put(c, opt.Config, names, opt.Sim, r)
+		cachePut(opt.Cache, key, c, opt.Config, names, opt.Sim, r)
 	}
 	return r, nil
 }

@@ -1,0 +1,128 @@
+// Package flight coalesces concurrent identical work: all callers that ask
+// for the same key while one execution is in flight share that execution's
+// single result instead of each paying for their own. The evaluation
+// harness keys groups by the compile cache's content address
+// (internal/ckey), closing the cache's one blind spot — the cache dedups
+// *completed* work, a flight group dedups *in-progress* work — so two
+// identical requests racing through the muzzled daemon, a sweep, and the
+// CLI at once still cost exactly one compile.
+//
+// Unlike golang.org/x/sync/singleflight, Do is context-aware on both
+// sides: a waiting follower abandons the wait when its own context ends
+// (the shared execution keeps running for the others), and a follower
+// whose leader aborted on the *leader's* context retries and becomes the
+// new leader rather than inheriting a cancellation that was never its own.
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a group's coalescing counters.
+type Stats struct {
+	// Executions counts leader runs: calls that actually executed fn.
+	Executions uint64 `json:"executions"`
+	// Coalesced counts calls that attached to another caller's in-flight
+	// execution instead of running fn themselves.
+	Coalesced uint64 `json:"coalesced"`
+	// Retries counts followers that re-entered the group because their
+	// leader aborted on its own canceled context.
+	Retries uint64 `json:"retries"`
+	// InFlight is the current number of distinct keys executing.
+	InFlight int `json:"in_flight"`
+}
+
+// call is one in-flight execution; done closes when val/err are final.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Group coalesces concurrent Do calls per key. The zero value is ready to
+// use; a Group must not be copied after first use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+	stats Stats
+}
+
+// Do executes fn under key, coalescing with any execution of the same key
+// already in flight: exactly one caller (the leader) runs fn with its own
+// context; every other caller (a follower) blocks until the leader
+// finishes and shares the result. The returned shared flag reports whether
+// the result came from another caller's execution — callers with stricter
+// post-conditions than the leader's (e.g. verification) re-check shared
+// results themselves.
+//
+// Context semantics: a follower whose own ctx ends returns ctx.Err()
+// immediately (the shared execution continues for the rest); a follower
+// whose leader failed with a context error while the follower's ctx is
+// still live retries — the leader's cancellation or deadline must not
+// poison unrelated callers.
+//
+// A panic in fn is re-raised in the leader after releasing the key, so
+// followers observe a terminated execution (as an error) instead of
+// waiting forever.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (v V, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.calls == nil {
+			g.calls = make(map[string]*call[V])
+		}
+		if c, ok := g.calls[key]; ok {
+			g.stats.Coalesced++
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, true, ctx.Err()
+			}
+			if leaderAborted(c.err) && ctx.Err() == nil {
+				g.mu.Lock()
+				g.stats.Retries++
+				g.mu.Unlock()
+				continue
+			}
+			return c.val, true, c.err
+		}
+		c := &call[V]{done: make(chan struct{})}
+		g.calls[key] = c
+		g.stats.Executions++
+		g.mu.Unlock()
+
+		finished := false
+		func() {
+			defer func() {
+				if !finished {
+					c.err = errors.New("flight: execution panicked")
+				}
+				g.mu.Lock()
+				delete(g.calls, key)
+				g.mu.Unlock()
+				close(c.done)
+			}()
+			c.val, c.err = fn(ctx)
+			finished = true
+		}()
+		return c.val, false, c.err
+	}
+}
+
+// leaderAborted reports whether an execution error is the leader's own
+// context ending — the one failure mode a live follower must not inherit.
+func leaderAborted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Stats returns a snapshot of the coalescing counters.
+func (g *Group[V]) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.stats
+	s.InFlight = len(g.calls)
+	return s
+}

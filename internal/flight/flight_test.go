@@ -1,0 +1,224 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalesce: N concurrent callers of one key share a single execution.
+func TestCoalesce(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var startOnce sync.Once
+
+	const callers = 8
+	results := make(chan int, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				startOnce.Do(func() { close(started) })
+				<-gate
+				execs.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results <- v
+		}()
+	}
+
+	// Wait until the leader is inside fn, then until every follower has
+	// attached, so no caller can race past a completed execution.
+	<-started
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Stats().Coalesced < callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never attached: %+v", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("executions = %d, want 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("result = %d, want 42", v)
+		}
+	}
+	s := g.Stats()
+	if s.Executions != 1 || s.Coalesced != callers-1 || s.InFlight != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce: different keys execute independently.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[string]
+	for _, key := range []string{"a", "b"} {
+		v, shared, err := g.Do(context.Background(), key, func(context.Context) (string, error) {
+			return key, nil
+		})
+		if err != nil || shared || v != key {
+			t.Fatalf("Do(%q) = %q shared=%v err=%v", key, v, shared, err)
+		}
+	}
+	if s := g.Stats(); s.Executions != 2 || s.Coalesced != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestErrorShared: a leader's non-context error is shared with followers
+// as-is.
+func TestErrorShared(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	errs := make(chan error, 2)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-gate
+			return 0, boom
+		})
+		errs <- err
+	}()
+	<-started
+	go func() {
+		_, shared, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			t.Error("follower must not execute")
+			return 0, nil
+		})
+		if !shared {
+			t.Error("second caller should have coalesced")
+		}
+		errs <- err
+	}()
+	for g.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+}
+
+// TestFollowerContext: a follower whose own context ends stops waiting
+// with its ctx error while the leader's execution completes for others.
+func TestFollowerContext(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-gate
+			return 7, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func(context.Context) (int, error) { return 0, nil })
+		followerDone <- err
+	}()
+	for g.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-followerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+}
+
+// TestLeaderCancelRetries: a follower with a live context does not inherit
+// the leader's cancellation — it retries and becomes the new leader.
+func TestLeaderCancelRetries(t *testing.T) {
+	var g Group[int]
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(leaderCtx, "k", func(ctx context.Context) (int, error) {
+			close(started)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	followerDone := make(chan int, 1)
+	go func() {
+		v, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return 99, nil
+		})
+		if err != nil {
+			t.Errorf("follower err = %v", err)
+		}
+		followerDone <- v
+	}()
+	for g.Stats().Coalesced < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	if v := <-followerDone; v != 99 {
+		t.Fatalf("follower result = %d, want 99 (fresh execution)", v)
+	}
+	if s := g.Stats(); s.Retries != 1 || s.Executions != 2 {
+		t.Fatalf("stats = %+v, want 1 retry and 2 executions", s)
+	}
+}
+
+// TestPanicReleasesKey: a panicking execution re-raises in the leader but
+// releases the key, and followers see an error instead of hanging.
+func TestPanicReleasesKey(t *testing.T) {
+	var g Group[int]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic not re-raised")
+			}
+		}()
+		g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			panic("boom")
+		})
+	}()
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Fatalf("key leaked after panic: %+v", s)
+	}
+	// The key is reusable afterwards.
+	v, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("Do after panic = %d, %v", v, err)
+	}
+}

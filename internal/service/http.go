@@ -80,7 +80,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	view, err := m.Submit(req)
 	if err != nil {
-		submitErr(w, err)
+		m.submitErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+view.ID)
@@ -97,13 +97,17 @@ func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitErr maps a Submit/SubmitSweep failure onto the API's status codes.
-func submitErr(w http.ResponseWriter, err error) {
+// Admission rejections are 429 with a Retry-After estimate (the backlog is
+// temporary: retry once it drains); a draining daemon answers 503 (this
+// process will never accept the job — go elsewhere or wait for a restart).
+func (m *Manager) submitErr(w http.ResponseWriter, err error) {
 	var reqErr *RequestError
 	switch {
 	case errors.As(err, &reqErr):
 		writeError(w, http.StatusBadRequest, reqErr.Code, reqErr.Err)
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, "queue_full", err)
+		w.Header().Set("Retry-After", strconv.Itoa(m.RetryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "queue_full", err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "shutting_down", err)
 	default:
@@ -127,7 +131,7 @@ func (m *Manager) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	view, err := m.SubmitSweep(grid)
 	if err != nil {
-		submitErr(w, err)
+		m.submitErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/sweeps/"+view.ID)
@@ -246,11 +250,17 @@ func (m *Manager) handleCompilers(w http.ResponseWriter, _ *http.Request) {
 
 func (m *Manager) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	met := m.MetricsSnapshot()
+	status := "ok"
+	if met.Draining {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": met.UptimeSeconds,
 		"workers":        met.Workers,
 		"jobs_submitted": met.JobsSubmitted,
+		"queue_depth":    met.QueueDepth,
+		"queue_capacity": met.QueueCapacity,
 	})
 }
 
@@ -271,6 +281,67 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	b.WriteString("# TYPE muzzled_jobs gauge\n")
 	for _, s := range []State{StatePending, StateRunning, StateDone, StateFailed, StateCanceled} {
 		fmt.Fprintf(&b, "muzzled_jobs{state=%q} %d\n", string(s), met.JobsByState[s])
+	}
+
+	b.WriteString("# HELP muzzled_jobs_recovered_total Jobs replayed from the journal at startup.\n")
+	b.WriteString("# TYPE muzzled_jobs_recovered_total counter\n")
+	fmt.Fprintf(&b, "muzzled_jobs_recovered_total %d\n", met.JobsRecovered)
+
+	b.WriteString("# HELP muzzled_queue_depth Jobs waiting in the admission queue.\n")
+	b.WriteString("# TYPE muzzled_queue_depth gauge\n")
+	fmt.Fprintf(&b, "muzzled_queue_depth %d\n", met.QueueDepth)
+	b.WriteString("# HELP muzzled_queue_capacity Admission bound: submits past this pending depth are rejected.\n")
+	b.WriteString("# TYPE muzzled_queue_capacity gauge\n")
+	fmt.Fprintf(&b, "muzzled_queue_capacity %d\n", met.QueueCapacity)
+	b.WriteString("# HELP muzzled_admission_rejected_total Submits rejected with 429 by the queue-depth bound.\n")
+	b.WriteString("# TYPE muzzled_admission_rejected_total counter\n")
+	fmt.Fprintf(&b, "muzzled_admission_rejected_total %d\n", met.AdmissionRejected)
+
+	b.WriteString("# HELP muzzled_draining Whether the daemon is refusing new submissions while shutting down.\n")
+	b.WriteString("# TYPE muzzled_draining gauge\n")
+	draining := 0
+	if met.Draining {
+		draining = 1
+	}
+	fmt.Fprintf(&b, "muzzled_draining %d\n", draining)
+
+	if met.Flight != nil {
+		b.WriteString("# HELP muzzled_flight_executions_total Evaluations that ran as a single-flight leader.\n")
+		b.WriteString("# TYPE muzzled_flight_executions_total counter\n")
+		fmt.Fprintf(&b, "muzzled_flight_executions_total %d\n", met.Flight.Executions)
+		b.WriteString("# HELP muzzled_flight_coalesced_total Evaluations that shared another caller's in-flight execution.\n")
+		b.WriteString("# TYPE muzzled_flight_coalesced_total counter\n")
+		fmt.Fprintf(&b, "muzzled_flight_coalesced_total %d\n", met.Flight.Coalesced)
+		b.WriteString("# HELP muzzled_flight_retries_total Followers re-executed because their leader aborted on its own context.\n")
+		b.WriteString("# TYPE muzzled_flight_retries_total counter\n")
+		fmt.Fprintf(&b, "muzzled_flight_retries_total %d\n", met.Flight.Retries)
+		b.WriteString("# HELP muzzled_flight_in_flight Distinct evaluations currently executing under the group.\n")
+		b.WriteString("# TYPE muzzled_flight_in_flight gauge\n")
+		fmt.Fprintf(&b, "muzzled_flight_in_flight %d\n", met.Flight.InFlight)
+	}
+
+	if met.Store != nil {
+		b.WriteString("# HELP muzzled_store_appends_total Journal records fsync'd this process.\n")
+		b.WriteString("# TYPE muzzled_store_appends_total counter\n")
+		fmt.Fprintf(&b, "muzzled_store_appends_total %d\n", met.Store.Appends)
+		b.WriteString("# HELP muzzled_store_compactions_total Journal snapshot folds this process.\n")
+		b.WriteString("# TYPE muzzled_store_compactions_total counter\n")
+		fmt.Fprintf(&b, "muzzled_store_compactions_total %d\n", met.Store.Compactions)
+		b.WriteString("# HELP muzzled_store_replayed_records Journal WAL records replayed at startup.\n")
+		b.WriteString("# TYPE muzzled_store_replayed_records gauge\n")
+		fmt.Fprintf(&b, "muzzled_store_replayed_records %d\n", met.Store.Replayed)
+		b.WriteString("# HELP muzzled_store_truncated_bytes Torn WAL tail discarded at startup.\n")
+		b.WriteString("# TYPE muzzled_store_truncated_bytes gauge\n")
+		fmt.Fprintf(&b, "muzzled_store_truncated_bytes %d\n", met.Store.TruncatedBytes)
+		b.WriteString("# HELP muzzled_store_jobs Jobs tracked by the journal.\n")
+		b.WriteString("# TYPE muzzled_store_jobs gauge\n")
+		fmt.Fprintf(&b, "muzzled_store_jobs %d\n", met.Store.Jobs)
+		b.WriteString("# HELP muzzled_store_wal_bytes Current journal WAL size.\n")
+		b.WriteString("# TYPE muzzled_store_wal_bytes gauge\n")
+		fmt.Fprintf(&b, "muzzled_store_wal_bytes %d\n", met.Store.WALBytes)
+		b.WriteString("# HELP muzzled_store_errors_total Journal appends or compactions that failed (recovery fidelity degraded).\n")
+		b.WriteString("# TYPE muzzled_store_errors_total counter\n")
+		fmt.Fprintf(&b, "muzzled_store_errors_total %d\n", met.StoreErrors)
 	}
 
 	if met.Cache != nil {

@@ -3,180 +3,52 @@
 // pool backed by muzzle.Pipeline, tracks each job through
 // pending/running/done/failed/canceled, supports per-job cancellation via
 // the Pipeline's context plumbing, and broadcasts per-circuit progress
-// events that the HTTP layer (http.go) streams to clients as SSE.
+// events that the HTTP layer streams to clients as SSE.
 //
 // A Manager owns nothing global: compilers resolve from the process-wide
 // registry, results flow through the shared content-addressed cache when
 // one is configured, and every job runs on its own Pipeline built from the
 // manager's base options plus the request's overrides — the same code path
 // the CLI uses, so CLI and service outputs are interchangeable.
+//
+// The package splits along its three concerns:
+//
+//	types.go      the domain vocabulary: states, requests, events, views
+//	scheduler.go  admission, the bounded queue, workers, cancellation
+//	journal.go    the store adapter: journaling and startup recovery
+//	http.go       the HTTP/SSE transport
+//	service.go    (this file) lifecycle: Config, New, Drain, Close, metrics
+//
+// With Config.Journal set the manager is durable: every submission, state
+// transition, and terminal result is appended to the write-ahead journal
+// (internal/store), and New replays it so a restarted daemon — cleanly
+// drained or killed outright — re-enqueues the jobs it owed. Recovery is
+// idempotent because completed work re-resolves through the
+// content-addressed cache, and Config.Flight coalesces identical work that
+// is merely concurrent. Admission is bounded: past QueueDepth pending
+// jobs, submits fail with ErrQueueFull (HTTP 429 + Retry-After) instead of
+// buffering without limit.
 package service
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
-	"errors"
-	"fmt"
 	"sync"
 	"time"
 
 	"muzzle"
-	"muzzle/internal/sweep"
+	"muzzle/internal/store"
 )
-
-// State is a job's lifecycle phase.
-type State string
-
-// Job lifecycle states. Terminal states are done, failed, and canceled.
-const (
-	StatePending  State = "pending"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
-)
-
-// Terminal reports whether a job in this state will never change again.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
-}
-
-// Sentinel errors of the manager API.
-var (
-	// ErrNotFound marks an unknown job id.
-	ErrNotFound = errors.New("service: job not found")
-	// ErrFinished marks a cancel of an already-terminal job.
-	ErrFinished = errors.New("service: job already finished")
-	// ErrQueueFull marks a submit rejected by the bounded queue.
-	ErrQueueFull = errors.New("service: job queue full")
-	// ErrClosed marks a submit after Close.
-	ErrClosed = errors.New("service: manager closed")
-)
-
-// RequestError is a submit-time validation failure (HTTP 400). Code is a
-// stable machine-readable slug ("unknown_compiler", "bad_request", ...).
-type RequestError struct {
-	Code string
-	Err  error
-}
-
-// Error implements the error interface.
-func (e *RequestError) Error() string { return fmt.Sprintf("service: %s: %v", e.Code, e.Err) }
-
-// Unwrap exposes the cause.
-func (e *RequestError) Unwrap() error { return e.Err }
-
-func badRequest(code, format string, args ...any) *RequestError {
-	return &RequestError{Code: code, Err: fmt.Errorf(format, args...)}
-}
-
-// RandomRequest asks for the pipeline's random benchmark suite.
-type RandomRequest struct {
-	// Limit evaluates only the first N suite circuits (0 = the full 120).
-	Limit int `json:"limit,omitempty"`
-	// Seed, when set, re-seeds the suite (WithRandomSeed); nil preserves
-	// the paper's circuits.
-	Seed *int64 `json:"seed,omitempty"`
-}
-
-// Request is one compile/evaluate job: exactly one source — inline
-// OpenQASM or the named random suite — plus optional compiler and timeout
-// overrides.
-type Request struct {
-	// Name labels the job's circuit when QASM is set (default "qasm").
-	// The name is part of the compile-cache key, so identical sources
-	// submitted under the same name share cache entries.
-	Name string `json:"name,omitempty"`
-	// QASM is inline OpenQASM 2.0 source.
-	QASM string `json:"qasm,omitempty"`
-	// Random requests the random benchmark suite instead.
-	Random *RandomRequest `json:"random,omitempty"`
-	// Compilers overrides the evaluation compiler set (registry names;
-	// default "baseline","optimized").
-	Compilers []string `json:"compilers,omitempty"`
-	// TimeoutMS bounds the job's run; 0 means no per-job timeout.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Verify runs the independent schedule verifier on every freshly
-	// compiled result of this job; violations fail the job with a typed
-	// verification error (never a panic). The daemon-wide Config.Verify
-	// forces this on for every job.
-	Verify bool `json:"verify,omitempty"`
-}
-
-// Event is one progress notification of a job, replayed to late
-// subscribers in order. Kind "state" carries a lifecycle transition; kind
-// "circuit" carries one per-circuit outcome (Result on success, Error on
-// failure); kind "cell" carries one sweep cell's report.
-type Event struct {
-	Seq     int                    `json:"seq"`
-	Kind    string                 `json:"kind"`
-	JobID   string                 `json:"job_id"`
-	State   State                  `json:"state,omitempty"`
-	Index   int                    `json:"index,omitempty"`
-	Circuit string                 `json:"circuit,omitempty"`
-	Result  *muzzle.EvalResultJSON `json:"result,omitempty"`
-	Cell    *sweep.CellReport      `json:"cell,omitempty"`
-	Error   string                 `json:"error,omitempty"`
-	Done    int                    `json:"done"`
-	Total   int                    `json:"total"`
-}
-
-// Event kinds.
-const (
-	EventState   = "state"
-	EventCircuit = "circuit"
-	EventCell    = "cell"
-)
-
-// JobView is the externally visible snapshot of a job (GET /v1/jobs/{id},
-// GET /v1/sweeps/{id}). For sweep jobs Source is "sweep", CircuitsTotal/
-// CircuitsDone count cells, and Sweep carries the aggregated report once
-// the job is terminal (partial on cancellation).
-type JobView struct {
-	ID            string                   `json:"id"`
-	State         State                    `json:"state"`
-	Source        string                   `json:"source"`
-	Compilers     []string                 `json:"compilers,omitempty"`
-	Created       time.Time                `json:"created"`
-	Started       *time.Time               `json:"started,omitempty"`
-	Finished      *time.Time               `json:"finished,omitempty"`
-	CircuitsTotal int                      `json:"circuits_total"`
-	CircuitsDone  int                      `json:"circuits_done"`
-	Error         string                   `json:"error,omitempty"`
-	Results       []*muzzle.EvalResultJSON `json:"results,omitempty"`
-	Sweep         *sweep.Report            `json:"sweep,omitempty"`
-}
-
-// job is the manager's internal record. Its mutable fields are guarded by
-// mu; the manager's map lock is never held while mu is.
-type job struct {
-	id    string
-	req   Request
-	circ  *muzzle.Circuit // parsed QASM source (nil for random and sweep jobs)
-	sweep *sweep.Expanded // sweep jobs: the validated, expanded grid (nil otherwise)
-
-	mu          sync.Mutex
-	state       State
-	created     time.Time
-	started     *time.Time
-	finished    *time.Time
-	total, done int
-	errText     string
-	results     []*muzzle.EvalResultJSON
-	report      *sweep.Report // sweep jobs: aggregated report once the run ends
-	events      []Event
-	subs        map[chan Event]struct{}
-	cancel      context.CancelFunc
-}
 
 // Config assembles a Manager.
 type Config struct {
 	// Workers sizes the worker pool (default 2). Each worker runs one job
 	// at a time; per-job circuit parallelism is set via PipelineOptions.
 	Workers int
-	// QueueDepth bounds pending jobs (default 256); submits beyond it
-	// fail with ErrQueueFull rather than blocking the caller.
+	// QueueDepth bounds pending jobs (default 256); submits beyond it fail
+	// with ErrQueueFull rather than blocking the caller. Jobs recovered
+	// from the journal are admitted above the bound (they were already
+	// accepted by a previous process), so a freshly restarted daemon may
+	// report a depth above QueueDepth until the backlog drains.
 	QueueDepth int
 	// JobRetention bounds how many terminal (done/failed/canceled) jobs
 	// stay queryable (default 1024). Beyond it the oldest-finished jobs —
@@ -186,6 +58,17 @@ type Config struct {
 	// Cache, when non-nil, is shared by every job's pipeline — sweep cells
 	// included — and its counters are exported via Metrics and /metrics.
 	Cache *muzzle.Cache
+	// Flight, when non-nil, coalesces concurrent identical evaluations
+	// across every job and sweep cell of the daemon: duplicates that miss
+	// the cache share one compile instead of racing. Counters are exported
+	// via Metrics and /metrics.
+	Flight *muzzle.Flight
+	// Journal, when non-nil, makes the job table durable: submissions,
+	// transitions, and terminal results are appended (fsync'd) as they
+	// happen, and New replays the journal so pending and running jobs of a
+	// dead process restart as pending. The manager assumes sole ownership
+	// of the journal until Close.
+	Journal *store.Journal
 	// SweepParallelism bounds concurrently running cells of one sweep job
 	// (0 = one per CPU).
 	SweepParallelism int
@@ -212,12 +95,19 @@ type Manager struct {
 	jobs      map[string]*job
 	terminal  []string // terminal job ids, oldest first, for retention
 	closed    bool
+	draining  bool
 	submitted uint64
+	rejected  uint64
+	recovered uint64
+	storeErrs uint64
 
 	latency *Histogram
 }
 
-// New starts a Manager and its workers.
+// New starts a Manager and its workers. With Config.Journal set it first
+// replays the journal: terminal jobs come back queryable, and jobs the
+// previous process never finished — pending or running — are re-enqueued
+// as pending ahead of any new submission.
 func New(cfg Config) *Manager {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -234,9 +124,18 @@ func New(cfg Config) *Manager {
 		start:   time.Now(),
 		baseCtx: ctx,
 		stop:    stop,
-		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
 		latency: NewHistogram(DefaultLatencyBuckets()),
+	}
+	// Recovery runs before the queue exists so the channel can be sized to
+	// hold every recovered job on top of the configured depth — re-admitting
+	// an already-accepted backlog must never block or deadlock startup.
+	// Admission checks compare against cfg.QueueDepth, not the channel
+	// capacity, so the bound still holds for new submissions.
+	pending := m.recoverJobs()
+	m.queue = make(chan *job, cfg.QueueDepth+len(pending))
+	for _, j := range pending {
+		m.queue <- j
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -251,7 +150,10 @@ func New(cfg Config) *Manager {
 }
 
 // Close stops accepting jobs, cancels everything in flight, and waits for
-// the workers. Queued jobs drain as canceled.
+// the workers. Queued jobs drain as canceled in memory, but — like jobs
+// canceled by the shutdown itself — their cancellation is not journaled,
+// so a journaled manager's next incarnation recovers them as pending. For
+// an orderly exit that lets running work complete, use Drain.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -266,167 +168,92 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
-// newJobID returns a 96-bit random hex id.
-func newJobID() string {
-	var b [12]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("service: crypto/rand failed: %v", err))
-	}
-	return hex.EncodeToString(b[:])
-}
-
-// newJob returns an empty pending job record.
-func newJob() *job {
-	return &job{
-		id:      newJobID(),
-		state:   StatePending,
-		created: time.Now(),
-		subs:    make(map[chan Event]struct{}),
-	}
-}
-
-// Submit validates a request, enqueues the job, and returns its initial
-// view. Validation failures are *RequestError (the HTTP layer maps them to
-// 400); a full queue is ErrQueueFull (503).
-func (m *Manager) Submit(req Request) (JobView, error) {
-	j := newJob()
-	j.req = req
-	switch {
-	case req.QASM != "" && req.Random != nil:
-		return JobView{}, badRequest("bad_request", "request must set exactly one of qasm/random, not both")
-	case req.QASM == "" && req.Random == nil:
-		return JobView{}, badRequest("bad_request", "request must set one of qasm/random")
-	case req.QASM != "":
-		name := req.Name
-		if name == "" {
-			name = "qasm"
-		}
-		c, err := muzzle.ParseQASM(name, req.QASM)
-		if err != nil {
-			return JobView{}, &RequestError{Code: "bad_qasm", Err: err}
-		}
-		j.circ = c
-	default:
-		if req.Random.Limit < 0 {
-			return JobView{}, badRequest("bad_request", "random.limit %d must be >= 0", req.Random.Limit)
-		}
-	}
-	seen := make(map[string]bool, len(req.Compilers))
-	for _, name := range req.Compilers {
-		if !muzzle.HasCompiler(name) {
-			return JobView{}, badRequest("unknown_compiler",
-				"compiler %q is not registered (registered: %v)", name, muzzle.RegisteredCompilers())
-		}
-		if seen[name] {
-			return JobView{}, badRequest("bad_request", "compiler %q listed twice", name)
-		}
-		seen[name] = true
-	}
-	if req.TimeoutMS < 0 {
-		return JobView{}, badRequest("bad_request", "timeout_ms %d must be >= 0", req.TimeoutMS)
-	}
-
-	return m.enqueue(j)
-}
-
-// enqueue publishes a validated job to the worker queue and the job table.
-func (m *Manager) enqueue(j *job) (JobView, error) {
-	// Record the pending event before the job becomes visible to workers,
-	// so the replayed history is always in lifecycle order even when a
-	// worker dequeues and starts the job immediately.
-	j.emit(Event{Kind: EventState, State: StatePending})
-
+// Drain is the graceful half of shutdown: it stops admission (submits fail
+// with ErrClosed → HTTP 503), leaves queued jobs untouched for the next
+// process (journaled as pending; workers skip rather than start them),
+// lets running jobs finish until ctx expires, hard-cancels any stragglers,
+// then checkpoints the journal. It returns once every worker has exited.
+func (m *Manager) Drain(ctx context.Context) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return JobView{}, ErrClosed
+		m.wg.Wait()
+		return
 	}
+	m.closed = true
+	m.draining = true
+	m.mu.Unlock()
+	close(m.queue)
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
 	select {
-	case m.queue <- j:
-		m.jobs[j.id] = j
-		m.submitted++
-		m.mu.Unlock()
-	default:
-		m.mu.Unlock()
-		return JobView{}, ErrQueueFull
+	case <-done:
+	case <-ctx.Done():
+		m.stop() // deadline passed: cancel running jobs (recovered as pending)
+		<-done
 	}
-	return m.view(j), nil
-}
-
-// Get returns a job snapshot.
-func (m *Manager) Get(id string) (JobView, error) {
-	j, err := m.lookup(id)
-	if err != nil {
-		return JobView{}, err
-	}
-	return m.view(j), nil
-}
-
-// Cancel requests cooperative cancellation: a pending job is canceled in
-// place, a running one has its context canceled and drains promptly; a
-// terminal job reports ErrFinished.
-func (m *Manager) Cancel(id string) (JobView, error) {
-	j, err := m.lookup(id)
-	if err != nil {
-		return JobView{}, err
-	}
-	j.mu.Lock()
-	switch {
-	case j.state.Terminal():
-		j.mu.Unlock()
-		return m.view(j), ErrFinished
-	case j.state == StatePending:
-		now := time.Now()
-		j.state = StateCanceled
-		j.finished = &now
-		j.emitLocked(Event{Kind: EventState, State: StateCanceled})
-		j.mu.Unlock()
-		m.retain(j.id)
-	default: // running; j.cancel was set in the same critical section
-		// that published the running state, so it is non-nil here.
-		cancel := j.cancel
-		j.mu.Unlock()
-		cancel()
-	}
-	return m.view(j), nil
-}
-
-// Subscribe returns the job's event history so far plus a live channel for
-// what follows; the channel is closed (possibly immediately) once the job
-// is terminal. Call the returned stop function when done listening.
-func (m *Manager) Subscribe(id string) (history []Event, live <-chan Event, stopFn func(), err error) {
-	j, err := m.lookup(id)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	history = append([]Event(nil), j.events...)
-	ch := make(chan Event, 4096)
-	if j.state.Terminal() {
-		close(ch)
-		return history, ch, func() {}, nil
-	}
-	j.subs[ch] = struct{}{}
-	stopFn = func() {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		if _, ok := j.subs[ch]; ok {
-			delete(j.subs, ch)
-			close(ch)
+	if m.cfg.Journal != nil {
+		if err := m.cfg.Journal.Compact(); err != nil {
+			m.noteStoreError()
 		}
 	}
-	return history, ch, stopFn, nil
+}
+
+// Draining reports whether the manager is refusing new work while a Drain
+// or Close winds it down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// drainMode reports whether a graceful Drain (as opposed to a hard Close)
+// is in progress — workers use it to leave queued jobs untouched.
+func (m *Manager) drainMode() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// RetryAfterSeconds estimates when a client rejected by admission control
+// should retry: the current backlog divided across the worker pool, priced
+// at the mean observed per-circuit latency, clamped to [1, 60] seconds.
+func (m *Manager) RetryAfterSeconds() int {
+	h := m.latency.Snapshot()
+	mean := 1.0
+	if h.Count > 0 {
+		mean = h.Sum / float64(h.Count)
+	}
+	secs := int(mean * float64(len(m.queue)) / float64(m.cfg.Workers))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // Metrics is the observable state of the service.
 type Metrics struct {
-	UptimeSeconds  float64            `json:"uptime_seconds"`
-	Workers        int                `json:"workers"`
-	JobsSubmitted  uint64             `json:"jobs_submitted"`
-	JobsByState    map[State]int      `json:"jobs_by_state"`
-	Cache          *muzzle.CacheStats `json:"cache,omitempty"`
-	CompileLatency HistogramSnapshot  `json:"compile_latency_seconds"`
+	UptimeSeconds     float64             `json:"uptime_seconds"`
+	Workers           int                 `json:"workers"`
+	Draining          bool                `json:"draining"`
+	JobsSubmitted     uint64              `json:"jobs_submitted"`
+	JobsRecovered     uint64              `json:"jobs_recovered"`
+	JobsByState       map[State]int       `json:"jobs_by_state"`
+	QueueDepth        int                 `json:"queue_depth"`
+	QueueCapacity     int                 `json:"queue_capacity"`
+	AdmissionRejected uint64              `json:"admission_rejected"`
+	Cache             *muzzle.CacheStats  `json:"cache,omitempty"`
+	Flight            *muzzle.FlightStats `json:"flight,omitempty"`
+	Store             *store.Stats        `json:"store,omitempty"`
+	StoreErrors       uint64              `json:"store_errors"`
+	CompileLatency    HistogramSnapshot   `json:"compile_latency_seconds"`
 }
 
 // MetricsSnapshot collects the current counters.
@@ -434,13 +261,19 @@ func (m *Manager) MetricsSnapshot() Metrics {
 	out := Metrics{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Workers:       m.cfg.Workers,
+		QueueDepth:    len(m.queue),
+		QueueCapacity: m.cfg.QueueDepth,
 		JobsByState: map[State]int{
 			StatePending: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCanceled: 0,
 		},
 		CompileLatency: m.latency.Snapshot(),
 	}
 	m.mu.Lock()
+	out.Draining = m.closed
 	out.JobsSubmitted = m.submitted
+	out.JobsRecovered = m.recovered
+	out.AdmissionRejected = m.rejected
+	out.StoreErrors = m.storeErrs
 	jobs := make([]*job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
@@ -455,214 +288,23 @@ func (m *Manager) MetricsSnapshot() Metrics {
 		s := m.cfg.Cache.Stats()
 		out.Cache = &s
 	}
+	if m.cfg.Flight != nil {
+		s := m.cfg.Flight.Stats()
+		out.Flight = &s
+	}
+	if m.cfg.Journal != nil {
+		s := m.cfg.Journal.Stats()
+		out.Store = &s
+	}
 	return out
 }
 
-func (m *Manager) lookup(id string) (*job, error) {
+// noteStoreError counts a journal append/compact failure. The job keeps
+// running — an unjournaled transition degrades recovery fidelity (the job
+// replays from its last durable state), which beats failing live work over
+// a disk hiccup — but the counter surfaces the problem on /metrics.
+func (m *Manager) noteStoreError() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	return j, nil
-}
-
-func (m *Manager) view(j *job) JobView {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	v := JobView{
-		ID:            j.id,
-		State:         j.state,
-		Source:        "qasm",
-		Compilers:     append([]string(nil), j.req.Compilers...),
-		Created:       j.created,
-		Started:       j.started,
-		Finished:      j.finished,
-		CircuitsTotal: j.total,
-		CircuitsDone:  j.done,
-		Error:         j.errText,
-		Results:       append([]*muzzle.EvalResultJSON(nil), j.results...),
-		Sweep:         j.report,
-	}
-	switch {
-	case j.sweep != nil:
-		v.Source = "sweep"
-		v.Compilers = append([]string(nil), j.sweep.Grid.Compilers...)
-	case j.req.Random != nil:
-		v.Source = "random"
-	}
-	return v
-}
-
-// emit assigns a sequence number, records the event for replay, and
-// broadcasts it. Terminal state events close every subscriber. Slow
-// subscribers (a full 4096-event buffer) drop events rather than wedge the
-// worker; the replayed history on reconnect is always complete.
-func (j *job) emit(ev Event) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.emitLocked(ev)
-}
-
-// emitLocked is emit with j.mu already held — used where a state change
-// and its event must be visible atomically to Subscribe.
-func (j *job) emitLocked(ev Event) {
-	ev.JobID = j.id
-	ev.Seq = len(j.events)
-	ev.Done = j.done
-	ev.Total = j.total
-	j.events = append(j.events, ev)
-	for ch := range j.subs {
-		select {
-		case ch <- ev:
-		default:
-		}
-	}
-	if ev.Kind == EventState && ev.State.Terminal() {
-		for ch := range j.subs {
-			close(ch)
-			delete(j.subs, ch)
-		}
-	}
-}
-
-// run executes one dequeued job on the calling worker.
-func (m *Manager) run(j *job) {
-	j.mu.Lock()
-	if j.state != StatePending { // canceled while queued
-		j.mu.Unlock()
-		return
-	}
-	now := time.Now()
-	j.state = StateRunning
-	j.started = &now
-	var ctx context.Context
-	var cancel context.CancelFunc
-	if j.req.TimeoutMS > 0 {
-		ctx, cancel = context.WithTimeout(m.baseCtx, time.Duration(j.req.TimeoutMS)*time.Millisecond)
-	} else {
-		ctx, cancel = context.WithCancel(m.baseCtx)
-	}
-	j.cancel = cancel
-	j.mu.Unlock()
-	defer cancel()
-
-	if j.sweep != nil {
-		m.runSweep(ctx, j)
-		return
-	}
-
-	p, circuits, err := m.buildPipeline(j)
-	if err != nil {
-		m.finish(j, StateFailed, err.Error())
-		return
-	}
-	j.mu.Lock()
-	j.total = len(circuits)
-	j.mu.Unlock()
-	j.emit(Event{Kind: EventState, State: StateRunning})
-
-	failures := 0
-	for item := range p.EvaluateStream(ctx, circuits) {
-		if item.Err != nil {
-			failures++
-			j.emit(Event{Kind: EventCircuit, Index: item.Index, Circuit: item.Circuit,
-				Error: item.Err.Error()})
-			continue
-		}
-		res := muzzle.EncodeEvalResult(item.Result)
-		j.mu.Lock()
-		j.done++
-		j.results = append(j.results, res)
-		j.mu.Unlock()
-		j.emit(Event{Kind: EventCircuit, Index: item.Index, Circuit: item.Circuit, Result: res})
-	}
-
-	switch {
-	case ctx.Err() == context.DeadlineExceeded:
-		m.finish(j, StateFailed, fmt.Sprintf("timed out after %dms", j.req.TimeoutMS))
-	case ctx.Err() != nil:
-		m.finish(j, StateCanceled, "")
-	case failures > 0:
-		m.finish(j, StateFailed, fmt.Sprintf("%d of %d circuits failed", failures, len(circuits)))
-	default:
-		m.finish(j, StateDone, "")
-	}
-}
-
-// buildPipeline assembles the job's pipeline — base options, shared cache,
-// request overrides, and the latency-observing progress hook — plus the
-// circuit list it will evaluate.
-func (m *Manager) buildPipeline(j *job) (*muzzle.Pipeline, []*muzzle.Circuit, error) {
-	opts := append([]muzzle.PipelineOption(nil), m.cfg.PipelineOptions...)
-	if m.cfg.Cache != nil {
-		opts = append(opts, muzzle.WithCache(m.cfg.Cache))
-	}
-	if len(j.req.Compilers) > 0 {
-		opts = append(opts, muzzle.WithCompilers(j.req.Compilers...))
-	}
-	if j.req.Verify || m.cfg.Verify {
-		opts = append(opts, muzzle.WithVerify())
-	}
-	if j.req.Random != nil {
-		if j.req.Random.Seed != nil {
-			opts = append(opts, muzzle.WithRandomSeed(*j.req.Random.Seed))
-		}
-		if j.req.Random.Limit > 0 {
-			opts = append(opts, muzzle.WithRandomLimit(j.req.Random.Limit))
-		}
-	}
-	// Per-circuit latency: wall time from pickup to completion (compile +
-	// simulate for every compiler of the set; cache hits land in the
-	// lowest buckets). The eval harness never runs the callback
-	// concurrently with itself, so the map needs no lock.
-	starts := make(map[int]time.Time)
-	opts = append(opts, muzzle.WithProgress(func(ev muzzle.EvalEvent) {
-		switch ev.Kind {
-		case muzzle.EvalStarted:
-			starts[ev.Index] = time.Now()
-		case muzzle.EvalCompleted, muzzle.EvalFailed:
-			if t0, ok := starts[ev.Index]; ok {
-				m.latency.Observe(time.Since(t0).Seconds())
-				delete(starts, ev.Index)
-			}
-		}
-	}))
-	p, err := muzzle.NewPipeline(opts...)
-	if err != nil {
-		return nil, nil, err
-	}
-	if j.circ != nil {
-		return p, []*muzzle.Circuit{j.circ}, nil
-	}
-	return p, p.RandomCircuits(), nil
-}
-
-// finish records the terminal state and emits the closing event.
-func (m *Manager) finish(j *job, state State, errText string) {
-	now := time.Now()
-	j.mu.Lock()
-	if j.state.Terminal() {
-		j.mu.Unlock()
-		return
-	}
-	j.state = state
-	j.finished = &now
-	j.errText = errText
-	j.emitLocked(Event{Kind: EventState, State: state, Error: errText})
-	j.mu.Unlock()
-	m.retain(j.id)
-}
-
-// retain records a terminal job and drops the oldest-finished jobs beyond
-// the retention cap so the job table cannot grow without bound.
-func (m *Manager) retain(id string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.terminal = append(m.terminal, id)
-	for len(m.terminal) > m.cfg.JobRetention {
-		delete(m.jobs, m.terminal[0])
-		m.terminal = m.terminal[1:]
-	}
+	m.storeErrs++
+	m.mu.Unlock()
 }

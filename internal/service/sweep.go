@@ -24,6 +24,9 @@ func (m *Manager) SubmitSweep(g sweep.Grid) (JobView, error) {
 	}
 	j := newJob()
 	j.sweep = e
+	j.grid = &e.Grid
+	j.source = SourceSweep
+	j.compilers = append([]string(nil), e.Grid.Compilers...)
 	j.total = len(e.Cells)
 	return m.enqueue(j)
 }
@@ -37,6 +40,7 @@ func (m *Manager) runSweep(ctx context.Context, j *job) {
 	rep := j.sweep.Run(ctx, sweep.Options{
 		Parallelism: m.cfg.SweepParallelism,
 		Cache:       m.cfg.Cache,
+		Flight:      m.cfg.Flight,
 		Verify:      m.cfg.Verify,
 		OnCell: func(cr sweep.CellReport) {
 			ev := Event{Kind: EventCell, Index: cr.Index, Circuit: cr.ID}

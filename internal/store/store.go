@@ -1,0 +1,465 @@
+// Package store is the durable job journal behind the muzzled service: an
+// append-only write-ahead log that records every job and sweep submission
+// (full request payload), every state transition, and every terminal
+// result, so a daemon that dies — cleanly or not — can rebuild its job
+// table on restart instead of dropping queued work.
+//
+// Layout under the journal directory:
+//
+//	snapshot.json   compacted job table (applied through snapshot.Seq)
+//	wal.log         CRC-framed appends newer than the snapshot
+//
+// Each WAL frame is a 4-byte little-endian payload length, a 4-byte IEEE
+// CRC32 of the payload, then the JSON-encoded Record. Appends are fsync'd
+// before Append returns, so an acknowledged record survives power loss.
+// Replay stops at the first frame that fails its length or checksum — a
+// torn tail from a mid-write crash — and truncates the file there, keeping
+// every record that was acknowledged. Compaction folds the replayed state
+// into snapshot.json (atomic tmp+rename) and resets the WAL, bounding both
+// replay time and disk use; terminal jobs beyond the retention bound are
+// dropped at that point.
+//
+// The journal stores service state but does not interpret it: states are
+// opaque strings, payloads opaque JSON, and only the Final marker (set by
+// the writer on terminal transitions) has meaning here, as the retention
+// predicate. internal/service/journal.go owns the vocabulary.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("store: journal closed")
+
+// maxRecord bounds a single frame's payload. A length prefix beyond it is
+// treated as corruption (torn tail), not an allocation request — without
+// the bound, one flipped bit in a length field could demand gigabytes.
+const maxRecord = 16 << 20
+
+// Record is one journal entry.
+type Record struct {
+	// Seq is the journal-assigned sequence number, strictly increasing
+	// across the journal's life (snapshot included). Callers leave it zero.
+	Seq uint64 `json:"seq"`
+	// Kind is "submit" for a submission record, "state" for a transition.
+	Kind string `json:"kind"`
+	// JobID identifies the job the record belongs to.
+	JobID string `json:"job_id"`
+	// Time is the wall-clock append time (stamped by the journal if zero).
+	Time time.Time `json:"time"`
+	// Source classifies a submission ("qasm", "random", "sweep").
+	Source string `json:"source,omitempty"`
+	// State is the job state a "state" record transitions to.
+	State string `json:"state,omitempty"`
+	// Error carries a failure message on failed transitions.
+	Error string `json:"error,omitempty"`
+	// Final marks a "state" record as terminal: the job will never
+	// transition again, making it eligible for retention eviction.
+	Final bool `json:"final,omitempty"`
+	// Payload is opaque writer data: the full request on "submit" records,
+	// the terminal result on final "state" records.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// JobState is one job's replayed state: the fold of its submission record
+// and every subsequent transition.
+type JobState struct {
+	// ID is the job identifier.
+	ID string `json:"id"`
+	// Source is the submission's Source.
+	Source string `json:"source,omitempty"`
+	// State is the last recorded state.
+	State string `json:"state,omitempty"`
+	// Error is the last recorded failure message.
+	Error string `json:"error,omitempty"`
+	// Final reports whether a terminal transition was recorded.
+	Final bool `json:"final,omitempty"`
+	// Submit is the submission payload.
+	Submit json.RawMessage `json:"submit,omitempty"`
+	// Result is the terminal payload, when one was recorded.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Seq is the sequence number of the last record applied.
+	Seq uint64 `json:"seq"`
+	// Time is the time of the last record applied.
+	Time time.Time `json:"time"`
+}
+
+// Options tune journal maintenance. The zero value is ready to use.
+type Options struct {
+	// CompactEvery folds the WAL into the snapshot after this many appends
+	// (0 = 4096). Compaction also runs on Close.
+	CompactEvery int
+	// Retention bounds how many terminal jobs survive a compaction, oldest
+	// evicted first (0 = 1024). Non-terminal jobs are never evicted.
+	Retention int
+}
+
+func (o Options) compactEvery() int {
+	if o.CompactEvery <= 0 {
+		return 4096
+	}
+	return o.CompactEvery
+}
+
+func (o Options) retention() int {
+	if o.Retention <= 0 {
+		return 1024
+	}
+	return o.Retention
+}
+
+// Stats snapshot the journal's durability counters.
+type Stats struct {
+	// Appends counts records appended this process.
+	Appends uint64 `json:"appends"`
+	// Compactions counts snapshot folds this process.
+	Compactions uint64 `json:"compactions"`
+	// Replayed counts WAL records applied at Open.
+	Replayed int `json:"replayed"`
+	// TruncatedBytes is the torn tail discarded at Open, if any.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Jobs is the current replayed job count.
+	Jobs int `json:"jobs"`
+	// WALBytes is the current WAL file size.
+	WALBytes int64 `json:"wal_bytes"`
+}
+
+// snapshot is the compacted on-disk job table.
+type snapshot struct {
+	// Seq is the sequence watermark: every record with Seq <= this is
+	// folded in, so replay skips them.
+	Seq  uint64      `json:"seq"`
+	Jobs []*JobState `json:"jobs"`
+}
+
+// Journal is an append-only job log. All methods are safe for concurrent
+// use... by one process: the journal takes no file lock, and two processes
+// appending to one directory will interleave frames. The muzzled daemon is
+// the single writer by construction.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu           sync.Mutex
+	f            *os.File
+	seq          uint64
+	jobs         map[string]*JobState
+	order        []string // submission order, for deterministic recovery + retention
+	sinceCompact int
+	closed       bool
+	stats        Stats
+}
+
+// Open creates or replays the journal under dir, creating the directory if
+// needed. A torn WAL tail (mid-write crash) is truncated, never fatal;
+// every acknowledged record is recovered.
+func Open(dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, jobs: make(map[string]*JobState)}
+	if err := j.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := j.replayWAL(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(j.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	j.f = f
+	if fi, err := f.Stat(); err == nil {
+		j.stats.WALBytes = fi.Size()
+	}
+	return j, nil
+}
+
+func (j *Journal) walPath() string      { return filepath.Join(j.dir, "wal.log") }
+func (j *Journal) snapshotPath() string { return filepath.Join(j.dir, "snapshot.json") }
+
+// loadSnapshot folds snapshot.json into memory, if one exists. A snapshot
+// that fails to parse is fatal: unlike a torn WAL tail (expected under
+// crash), a corrupt snapshot means the atomic rename contract was violated
+// and silently dropping it would resurrect canceled work.
+func (j *Journal) loadSnapshot() error {
+	data, err := os.ReadFile(j.snapshotPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("store: parse snapshot: %w", err)
+	}
+	j.seq = s.Seq
+	for _, js := range s.Jobs {
+		j.jobs[js.ID] = js
+		j.order = append(j.order, js.ID)
+	}
+	return nil
+}
+
+// replayWAL applies every intact frame in wal.log, truncating at the first
+// torn or corrupt one.
+func (j *Journal) replayWAL() error {
+	f, err := os.Open(j.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open wal for replay: %w", err)
+	}
+	defer f.Close()
+
+	var offset int64
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			break // clean EOF or torn header: stop at last good offset
+		}
+		n := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if n > maxRecord {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		offset += int64(8 + n)
+		if rec.Seq <= j.seq {
+			continue // already folded into the snapshot
+		}
+		j.apply(&rec)
+		j.seq = rec.Seq
+		j.stats.Replayed++
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat wal: %w", err)
+	}
+	if torn := fi.Size() - offset; torn > 0 {
+		j.stats.TruncatedBytes = torn
+		if err := os.Truncate(j.walPath(), offset); err != nil {
+			return fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply folds one record into the in-memory job table.
+func (j *Journal) apply(rec *Record) {
+	switch rec.Kind {
+	case "submit":
+		if _, ok := j.jobs[rec.JobID]; ok {
+			return // duplicate submit: first one wins
+		}
+		j.jobs[rec.JobID] = &JobState{
+			ID:     rec.JobID,
+			Source: rec.Source,
+			State:  rec.State,
+			Submit: rec.Payload,
+			Seq:    rec.Seq,
+			Time:   rec.Time,
+		}
+		j.order = append(j.order, rec.JobID)
+	case "state":
+		js, ok := j.jobs[rec.JobID]
+		if !ok {
+			return // job evicted by retention; late transition is moot
+		}
+		js.State = rec.State
+		js.Error = rec.Error
+		js.Seq = rec.Seq
+		js.Time = rec.Time
+		if rec.Final {
+			js.Final = true
+			if len(rec.Payload) > 0 {
+				js.Result = rec.Payload
+			}
+		}
+	}
+}
+
+// Append durably writes one record: framed, appended, and fsync'd before
+// returning, then folded into the replayed state. Seq (and Time, if zero)
+// are assigned by the journal. Every CompactEvery appends the journal
+// compacts itself.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	j.seq++
+	rec.Seq = j.seq
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
+	if _, err := j.f.Write(header[:]); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	j.stats.Appends++
+	j.stats.WALBytes += int64(8 + len(payload))
+	j.apply(&rec)
+	j.sinceCompact++
+	if j.sinceCompact >= j.opts.compactEvery() {
+		if err := j.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Jobs returns the replayed job table in submission order. The returned
+// states are snapshots; mutating them does not touch the journal.
+func (j *Journal) Jobs() []*JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]*JobState, 0, len(j.order))
+	for _, id := range j.order {
+		if js, ok := j.jobs[id]; ok {
+			c := *js
+			out = append(out, &c)
+		}
+	}
+	return out
+}
+
+// Compact folds the current state into snapshot.json and resets the WAL.
+// Terminal jobs beyond the retention bound are dropped, oldest first.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() error {
+	// Retention: evict the oldest terminal jobs past the bound. Live jobs
+	// are never dropped — durability for exactly the work that needs it.
+	if keep := j.opts.retention(); keep >= 0 {
+		var final int
+		for _, js := range j.jobs {
+			if js.Final {
+				final++
+			}
+		}
+		if final > keep {
+			drop := final - keep
+			kept := j.order[:0]
+			for _, id := range j.order {
+				js := j.jobs[id]
+				if js != nil && js.Final && drop > 0 {
+					delete(j.jobs, id)
+					drop--
+					continue
+				}
+				kept = append(kept, id)
+			}
+			j.order = kept
+		}
+	}
+
+	s := snapshot{Seq: j.seq, Jobs: make([]*JobState, 0, len(j.order))}
+	for _, id := range j.order {
+		if js, ok := j.jobs[id]; ok {
+			s.Jobs = append(s.Jobs, js)
+		}
+	}
+	data, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	tmp := j.snapshotPath() + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: fsync snapshot: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, j.snapshotPath()); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// The WAL's records are all folded into the published snapshot (the
+	// Seq watermark guarantees replay would skip them anyway) — reset it.
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: reset wal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: reset wal: %w", err)
+	}
+	j.stats.WALBytes = 0
+	j.sinceCompact = 0
+	j.stats.Compactions++
+	return nil
+}
+
+// Stats returns a snapshot of the durability counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stats
+	s.Jobs = len(j.jobs)
+	return s
+}
+
+// Close compacts (checkpointing the final state into the snapshot) and
+// releases the WAL. Further operations return ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	err := j.compactLocked()
+	j.closed = true
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

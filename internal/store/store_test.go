@@ -1,0 +1,224 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustAppend(t *testing.T, j *Journal, rec Record) {
+	t.Helper()
+	if err := j.Append(rec); err != nil {
+		t.Fatalf("Append(%+v): %v", rec, err)
+	}
+}
+
+// TestRoundTrip: submissions and transitions appended by one journal are
+// replayed intact by the next, including payloads and ordering.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j, Record{Kind: "submit", JobID: "a", Source: "qasm", State: "pending",
+		Payload: json.RawMessage(`{"qasm":"..."}`)})
+	mustAppend(t, j, Record{Kind: "submit", JobID: "b", Source: "sweep", State: "pending",
+		Payload: json.RawMessage(`{"grid":{}}`)})
+	mustAppend(t, j, Record{Kind: "state", JobID: "a", State: "running"})
+	mustAppend(t, j, Record{Kind: "state", JobID: "a", State: "done", Final: true,
+		Payload: json.RawMessage(`{"result":1}`)})
+	// No clean Close: simulate a crash by reopening the same directory.
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	jobs := j2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	a, b := jobs[0], jobs[1]
+	if a.ID != "a" || b.ID != "b" {
+		t.Fatalf("order = %s, %s; want a, b", a.ID, b.ID)
+	}
+	if a.State != "done" || !a.Final || string(a.Result) != `{"result":1}` {
+		t.Fatalf("job a = %+v", a)
+	}
+	if string(a.Submit) != `{"qasm":"..."}` {
+		t.Fatalf("job a submit payload = %s", a.Submit)
+	}
+	if b.State != "pending" || b.Final || b.Source != "sweep" {
+		t.Fatalf("job b = %+v", b)
+	}
+	if s := j2.Stats(); s.Replayed != 4 || s.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestTornTail: a partially written final frame (mid-write crash) is
+// truncated on replay; every earlier record survives.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j, Record{Kind: "submit", JobID: "a", Source: "qasm", State: "pending"})
+	mustAppend(t, j, Record{Kind: "state", JobID: "a", State: "running"})
+
+	// Tear the tail three ways; each reopen must recover both records.
+	wal := filepath.Join(dir, "wal.log")
+	good, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	tears := map[string][]byte{
+		"torn header":  append(append([]byte{}, good...), 0x10, 0x00),
+		"torn payload": append(append([]byte{}, good...), 0x10, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x'),
+		"bad crc":      append(append([]byte{}, good...), 0x01, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x'),
+	}
+	for name, data := range tears {
+		if err := os.WriteFile(wal, data, 0o644); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		j2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", name, err)
+		}
+		jobs := j2.Jobs()
+		if len(jobs) != 1 || jobs[0].State != "running" {
+			t.Fatalf("%s: replayed %+v", name, jobs)
+		}
+		s := j2.Stats()
+		if s.TruncatedBytes == 0 {
+			t.Errorf("%s: torn tail not reported", name)
+		}
+		// The truncated journal accepts new appends.
+		mustAppend(t, j2, Record{Kind: "state", JobID: "a", State: "pending"})
+		j2.Close()
+		// Restore the torn bytes for the next variant (Close compacted).
+		if err := os.WriteFile(wal, data, 0o644); err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		os.Remove(filepath.Join(dir, "snapshot.json"))
+	}
+}
+
+// TestCompaction: compaction folds state into the snapshot, resets the
+// WAL, and replay after both snapshot and further appends is exact.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j, Record{Kind: "submit", JobID: "a", Source: "qasm", State: "pending"})
+	mustAppend(t, j, Record{Kind: "state", JobID: "a", State: "done", Final: true})
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if s := j.Stats(); s.WALBytes != 0 || s.Compactions != 1 {
+		t.Fatalf("post-compact stats = %+v", s)
+	}
+	// Appends after compaction land in the fresh WAL with higher seqs.
+	mustAppend(t, j, Record{Kind: "submit", JobID: "b", Source: "random", State: "pending"})
+	// Crash (no Close) and replay: snapshot + tail must both apply.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	jobs := j2.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != "a" || jobs[1].ID != "b" {
+		t.Fatalf("replayed %+v", jobs)
+	}
+	if jobs[0].State != "done" || jobs[1].State != "pending" {
+		t.Fatalf("states = %s, %s", jobs[0].State, jobs[1].State)
+	}
+	if s := j2.Stats(); s.Replayed != 1 {
+		t.Fatalf("replayed %d tail records, want 1 (snapshot covers the rest)", s.Replayed)
+	}
+}
+
+// TestRetention: compaction evicts the oldest terminal jobs past the
+// bound and never evicts live ones.
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Retention: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer j.Close()
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("done-%d", i)
+		mustAppend(t, j, Record{Kind: "submit", JobID: id, Source: "qasm", State: "pending"})
+		mustAppend(t, j, Record{Kind: "state", JobID: id, State: "done", Final: true})
+	}
+	mustAppend(t, j, Record{Kind: "submit", JobID: "live", Source: "qasm", State: "pending"})
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	jobs := j.Jobs()
+	var ids []string
+	for _, js := range jobs {
+		ids = append(ids, js.ID)
+	}
+	want := []string{"done-3", "done-4", "live"}
+	if len(ids) != len(want) {
+		t.Fatalf("kept %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("kept %v, want %v", ids, want)
+		}
+	}
+}
+
+// TestAutoCompaction: the journal compacts itself every CompactEvery
+// appends without an explicit Compact call.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{CompactEvery: 4})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer j.Close()
+	for i := 0; i < 4; i++ {
+		mustAppend(t, j, Record{Kind: "submit", JobID: fmt.Sprintf("j%d", i), State: "pending"})
+	}
+	if s := j.Stats(); s.Compactions != 1 || s.WALBytes != 0 {
+		t.Fatalf("stats after 4 appends = %+v, want 1 auto-compaction", s)
+	}
+}
+
+// TestClosedJournal: operations after Close fail with ErrClosed, and
+// Close checkpoints state so a reopen needs no WAL replay.
+func TestClosedJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustAppend(t, j, Record{Kind: "submit", JobID: "a", State: "pending"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Append(Record{Kind: "state", JobID: "a", State: "running"}); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if s := j2.Stats(); s.Replayed != 0 {
+		t.Fatalf("clean close should leave nothing to replay, got %d", s.Replayed)
+	}
+	if jobs := j2.Jobs(); len(jobs) != 1 || jobs[0].ID != "a" {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}

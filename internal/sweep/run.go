@@ -19,6 +19,11 @@ type Options struct {
 	// evaluated before — in this run, an earlier resumed run, or any other
 	// client of the same cache — are served without compiling.
 	Cache *muzzle.Cache
+	// Flight, when non-nil, coalesces cells whose coordinates are merely
+	// *concurrently* identical — with each other or with any other client
+	// of the same group (daemon jobs, the CLI) — so duplicates that race
+	// past the cache still cost one compile.
+	Flight *muzzle.Flight
 	// OnCell, when non-nil, receives each finished cell's report in
 	// completion order. It is never invoked concurrently with itself.
 	OnCell func(CellReport)
@@ -135,6 +140,9 @@ func runCell(ctx context.Context, g Grid, cell Cell, opt Options) CellReport {
 	}
 	if opt.Cache != nil {
 		popts = append(popts, muzzle.WithCache(opt.Cache))
+	}
+	if opt.Flight != nil {
+		popts = append(popts, muzzle.WithFlight(opt.Flight))
 	}
 	if opt.Verify {
 		popts = append(popts, muzzle.WithVerify())

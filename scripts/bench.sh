@@ -1,13 +1,17 @@
 #!/usr/bin/env sh
-# scripts/bench.sh — run the compile benchmarks and write the perf
-# trajectory snapshot BENCH_compile.json (ns/op, B/op, allocs/op, and the
-# shuttles/op artifact metric per benchmark).
+# scripts/bench.sh — run the compile benchmarks and extend the perf
+# trajectory BENCH_compile.json: one benchjson snapshot (ns/op, B/op,
+# allocs/op, shuttles/op) is APPENDED per run, so the file records the
+# repo's per-PR performance history instead of only the latest numbers.
+# After appending, the last two entries are diffed (cmd/benchdiff) and
+# ns/op regressions past 10% are flagged — as a warning, not a failure.
 #
 # Usage:
-#   scripts/bench.sh                 # default selection, writes BENCH_compile.json
+#   scripts/bench.sh                 # append a snapshot to BENCH_compile.json
 #   BENCH_PATTERN='.' scripts/bench.sh        # run everything
-#   BENCH_OUT=/tmp/b.json scripts/bench.sh    # alternate output path
+#   BENCH_OUT=/tmp/b.json scripts/bench.sh    # alternate trajectory path
 #   BENCH_TIME=5x scripts/bench.sh            # alternate -benchtime
+#   BENCH_NOTE='...' scripts/bench.sh         # context embedded in the entry
 #
 # The default selection is the compile-path benchmarks whose trajectory the
 # repo tracks: the Table II/III compiles (the paper artifacts) and the public
@@ -22,8 +26,13 @@ OUT="${BENCH_OUT:-BENCH_compile.json}"
 TIME="${BENCH_TIME:-3x}"
 
 TXT="$(mktemp)"
-trap 'rm -f "$TXT"' EXIT
+SNAP="$(mktemp)"
+trap 'rm -f "$TXT" "$SNAP"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" . | tee "$TXT"
-go run ./cmd/benchjson -note "${BENCH_NOTE:-}" < "$TXT" > "$OUT"
+go run ./cmd/benchjson -note "${BENCH_NOTE:-}" < "$TXT" > "$SNAP"
+go run ./cmd/benchdiff -append "$SNAP" "$OUT"
+# Non-gating trajectory diff: warns on >10% ns/op regressions vs the
+# previous entry, if there is one.
+go run ./cmd/benchdiff "$OUT" || true
 echo "wrote $OUT"
