@@ -1,0 +1,185 @@
+// Command muzzlecoord runs a scenario sweep across a fleet of muzzled
+// workers: it expands the grid exactly as muzzlesweep would, fans the
+// indexed cell list out over HTTP (POST /v1/cells) with health probing,
+// backpressure-aware dispatch, and failure reassignment, and merges the
+// results into the same resumable artifact directory a local run writes —
+// a distributed run dir can be finished (or re-read) by muzzlesweep and
+// vice versa.
+//
+// Point every worker's -cache-dir at one shared directory: the
+// content-addressed compile cache then acts as the fleet's shared blob
+// store, so overlapping cells — including cells re-dispatched after a
+// worker died mid-flight — cost one compile total.
+//
+// Usage:
+//
+//	muzzlecoord -workers http://a:8077,http://b:8077 [flags]
+//
+// Flags:
+//
+//	-workers LIST     muzzled base URLs, comma separated (required)
+//	-grid FILE        grid spec as JSON (see README); overrides the axis flags
+//	-topo LIST        topology axis: line:N | ring:N | grid:RxC (comma separated)
+//	-capacities LIST  trap capacity axis (default 17)
+//	-comm LIST        communication capacity axis (default 2)
+//	-compilers LIST   registry compiler set (default baseline,optimized)
+//	-circuits LIST    circuit axis: paper | qft:N | random:Q:G:SEED[:COUNT]
+//	-out DIR          resumable artifact directory (default sweep-out)
+//	-cell-timeout D   per-dispatch-attempt deadline for one cell (default 10m)
+//	-max-attempts N   failed-dispatch budget per cell before the cell is
+//	                  recorded as failed (default 3); 429 retries are free
+//	-per-worker N     concurrent cells per worker (0 = the worker pool size
+//	                  its /healthz advertises)
+//	-probe-interval D health re-probe cadence for unhealthy workers (default 2s)
+//	-no-worker-timeout D  abort after the whole fleet has been unhealthy this
+//	                  long (default 1m)
+//	-metrics ADDR     serve coordinator /metrics + /healthz on ADDR (empty
+//	                  disables)
+//	-timeout D        abort the sweep after this duration (0 = none)
+//	-q                suppress per-cell progress lines
+//	-verify           ask workers to replay every schedule through the
+//	                  independent machine-model verifier
+//
+// Artifacts under -out are identical to muzzlesweep's: report.json,
+// report.csv, manifest.json, and cells/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"muzzle/internal/coord"
+	"muzzle/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "muzzlecoord:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	workers := flag.String("workers", "", "muzzled base URLs, comma separated (required)")
+	gridFile := flag.String("grid", "", "grid spec JSON file (overrides the axis flags)")
+	topoList := flag.String("topo", "line:6", "topology axis: line:N | ring:N | grid:RxC, comma separated")
+	capList := flag.String("capacities", "17", "trap capacity axis, comma separated")
+	commList := flag.String("comm", "2", "communication capacity axis, comma separated")
+	compilers := flag.String("compilers", "", "compiler set (default baseline,optimized)")
+	circuits := flag.String("circuits", "qft:16", "circuit axis: paper | qft:N | random:Q:G:SEED[:COUNT], comma separated")
+	out := flag.String("out", "sweep-out", "artifact directory (resumable)")
+	cellTimeout := flag.Duration("cell-timeout", 10*time.Minute, "per-dispatch-attempt deadline for one cell")
+	maxAttempts := flag.Int("max-attempts", 3, "failed-dispatch budget per cell (429 backpressure retries are free)")
+	perWorker := flag.Int("per-worker", 0, "concurrent cells per worker (0 = the pool size its /healthz advertises)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "health re-probe cadence for unhealthy workers")
+	noWorkerTimeout := flag.Duration("no-worker-timeout", time.Minute, "abort after the whole fleet has been unhealthy this long")
+	metricsAddr := flag.String("metrics", "", "serve coordinator /metrics + /healthz on this address (empty disables)")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	quiet := flag.Bool("q", false, "suppress per-cell progress lines")
+	verify := flag.Bool("verify", false, "ask workers to verify every schedule against the machine model")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", flag.Arg(0))
+	}
+	urls := sweep.SplitList(*workers)
+	if len(urls) == 0 {
+		return fmt.Errorf("-workers is required (comma-separated muzzled base URLs)")
+	}
+
+	var grid sweep.Grid
+	if *gridFile != "" {
+		f, err := os.Open(*gridFile)
+		if err != nil {
+			return err
+		}
+		err = sweep.DecodeGrid(f, &grid)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("grid %s: %w", *gridFile, err)
+		}
+	} else {
+		var err error
+		grid, err = sweep.GridFromFlags(*topoList, *capList, *commList, *compilers, *circuits)
+		if err != nil {
+			return err
+		}
+	}
+	// Expand once up front so a typo'd grid fails before the output
+	// directory or any worker is touched; the coordinator re-expands the
+	// same normalized grid internally.
+	exp, err := sweep.Expand(grid)
+	if err != nil {
+		return err
+	}
+
+	cfg := coord.Config{
+		Workers:           urls,
+		CellTimeout:       *cellTimeout,
+		MaxAttempts:       *maxAttempts,
+		PerWorkerInFlight: *perWorker,
+		ProbeInterval:     *probeInterval,
+		NoWorkerTimeout:   *noWorkerTimeout,
+		Verify:            *verify,
+		Logf:              log.Printf,
+	}
+	if !*quiet {
+		cfg.OnCell = func(cr sweep.CellReport) {
+			if cr.Error != "" {
+				fmt.Printf("%-48s ERROR: %s\n", cr.ID, cr.Error)
+				return
+			}
+			var parts []string
+			for _, o := range cr.Outcomes {
+				parts = append(parts, fmt.Sprintf("%s=%d", o.Compiler, o.Shuttles))
+			}
+			fmt.Printf("%-48s shuttles: %s\n", cr.ID, strings.Join(parts, " "))
+		}
+	}
+	c, err := coord.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("coordinator metrics on %s", *metricsAddr)
+			srv := &http.Server{Addr: *metricsAddr, Handler: c.Handler(), ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Printf("sweep: %d cells across %d workers (%d topologies x %d capacities x %d comm x circuits), compilers %v\n",
+		len(exp.Cells), len(urls), len(exp.Grid.Topologies), len(exp.Grid.Capacities),
+		len(exp.Grid.CommCapacities), exp.Grid.Compilers)
+
+	rep, err := c.RunDir(ctx, grid, *out)
+	if err != nil {
+		return err
+	}
+	met := c.MetricsSnapshot()
+	fmt.Printf("dispatch: %d completed, %d backpressure retries, %d reassigned, %d failed\n",
+		met.Completed, met.Retried, met.Reassigned, met.Failed)
+	if n := rep.Failures(); n > 0 {
+		return fmt.Errorf("%d of %d cells failed (see %s/report.json)", n, len(rep.Cells), *out)
+	}
+	fmt.Printf("done: %d cells -> %s/report.json, %s/report.csv\n", len(rep.Cells), *out, *out)
+	return nil
+}

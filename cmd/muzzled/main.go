@@ -27,6 +27,9 @@
 //	-drain-timeout D  how long SIGTERM/SIGINT lets running jobs finish before
 //	                  hard-canceling them (default 15s)
 //	-pprof ADDR       serve net/http/pprof on ADDR (empty disables)
+//	-worker-id ID     name this daemon in the /healthz worker identity block
+//	                  (default: a random id per process); a sweep
+//	                  coordinator uses it to tell its workers apart
 //	-verify           replay every schedule through the independent
 //	                  verifier; per-job opt-in is {"verify": true}
 //	-traps N          traps in the linear topology (default 6)
@@ -40,8 +43,12 @@
 //	DELETE /v1/jobs/{id}        cancel a pending or running job (durable)
 //	GET    /v1/jobs/{id}/stream SSE per-circuit events (history replayed)
 //	POST   /v1/sweeps           submit a scenario-sweep grid
+//	POST   /v1/cells            execute one sweep cell synchronously (the
+//	                            distributed-sweep worker endpoint; see
+//	                            muzzlecoord)
 //	GET    /v1/compilers        compiler registry listing
 //	GET    /healthz             liveness ("ok" or "draining") + queue depth
+//	                            + worker identity
 //	GET    /metrics             Prometheus-style metrics
 //
 // SIGINT/SIGTERM drain gracefully: new submissions are refused (503), the
@@ -93,6 +100,7 @@ func run() error {
 	comm := flag.Int("comm", 2, "communication capacity")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	verifyAll := flag.Bool("verify", false, "replay every schedule through the independent verifier (forces per-request verify on)")
+	workerID := flag.String("worker-id", "", "worker identity reported on /healthz (default: a random id per process)")
 	flag.Parse()
 
 	// Live profiling of the compile hot paths. The profiler runs on its own
@@ -154,6 +162,7 @@ func run() error {
 		Journal:          journal,
 		SweepParallelism: *parallelism,
 		Verify:           *verifyAll,
+		WorkerID:         *workerID,
 		PipelineOptions: []muzzle.PipelineOption{
 			muzzle.WithMachine(machine),
 			muzzle.WithParallelism(*parallelism),

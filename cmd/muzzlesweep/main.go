@@ -9,6 +9,7 @@
 //
 //	muzzlesweep -grid grid.json [flags]
 //	muzzlesweep -topo line:6,ring:6,grid:2x3 -circuits qft:16 [flags]
+//	muzzlesweep -server http://host:8077 -circuits qft:16 [flags]
 //
 // Flags:
 //
@@ -19,7 +20,11 @@
 //	-compilers LIST   registry compiler set (default baseline,optimized)
 //	-circuits LIST    circuit axis: paper | qft:N | random:Q:G:SEED[:COUNT]
 //	-out DIR          artifact directory (default sweep-out)
-//	-parallelism N    concurrent cells (0 = one per CPU)
+//	-server URL       submit the sweep to a muzzled daemon instead of running
+//	                  locally; admission backpressure (429 + Retry-After) is
+//	                  honored with jittered backoff, and report.json/report.csv
+//	                  are written under -out from the daemon's result
+//	-parallelism N    concurrent cells (0 = one per CPU; local runs only)
 //	-cache N          in-memory compile-cache entries (default 4096; 0 disables)
 //	-cache-dir DIR    persist cache entries as JSON under DIR (shared across runs)
 //	-cache-disk N     max persisted files under -cache-dir (0 = unbounded)
@@ -30,38 +35,30 @@
 //
 // Artifacts under -out: report.json (the aggregated deterministic report),
 // report.csv (one row per cell x compiler), manifest.json and cells/ (the
-// resume state).
+// resume state; local runs only — for resumable distributed runs, see
+// muzzlecoord).
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
+	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"muzzle"
+	"muzzle/internal/coord"
+	"muzzle/internal/service"
 	"muzzle/internal/sweep"
 )
-
-// decodeGrid strictly decodes one JSON grid object: unknown fields and
-// trailing data are errors, matching the daemon's POST /v1/sweeps.
-func decodeGrid(r io.Reader, g *sweep.Grid) error {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(g); err != nil {
-		return err
-	}
-	if dec.More() {
-		return fmt.Errorf("trailing data after grid object")
-	}
-	return nil
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -78,6 +75,7 @@ func run() error {
 	compilers := flag.String("compilers", "", "compiler set (default baseline,optimized)")
 	circuits := flag.String("circuits", "qft:16", "circuit axis: paper | qft:N | random:Q:G:SEED[:COUNT], comma separated")
 	out := flag.String("out", "sweep-out", "artifact directory (resumable)")
+	server := flag.String("server", "", "submit to a muzzled daemon at this base URL instead of running locally")
 	parallelism := flag.Int("parallelism", 0, "concurrent cells (0 = one per CPU)")
 	cacheEntries := flag.Int("cache", 4096, "in-memory compile-cache entries (0 disables caching)")
 	cacheDir := flag.String("cache-dir", "", "persist compile-cache entries under this directory")
@@ -96,28 +94,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		err = decodeGrid(f, &grid)
+		err = sweep.DecodeGrid(f, &grid)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("grid %s: %w", *gridFile, err)
 		}
 	} else {
 		var err error
-		grid, err = gridFromFlags(*topoList, *capList, *commList, *compilers, *circuits)
+		grid, err = sweep.GridFromFlags(*topoList, *capList, *commList, *compilers, *circuits)
 		if err != nil {
 			return err
 		}
-	}
-
-	var cache *muzzle.Cache
-	if *cacheEntries > 0 {
-		var err error
-		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir, MaxDiskEntries: *cacheDisk})
-		if err != nil {
-			return err
-		}
-	} else if *cacheDir != "" {
-		return fmt.Errorf("-cache-dir requires caching enabled (-cache > 0)")
 	}
 
 	// Expand once: validation happens before any output directory is
@@ -137,6 +124,20 @@ func run() error {
 		defer cancel()
 	}
 
+	if *server != "" {
+		return runRemote(ctx, *server, grid, *out, *verifyFlag, *quiet)
+	}
+
+	var cache *muzzle.Cache
+	if *cacheEntries > 0 {
+		cache, err = muzzle.NewCache(muzzle.CacheConfig{MaxEntries: *cacheEntries, Dir: *cacheDir, MaxDiskEntries: *cacheDisk})
+		if err != nil {
+			return err
+		}
+	} else if *cacheDir != "" {
+		return fmt.Errorf("-cache-dir requires caching enabled (-cache > 0)")
+	}
+
 	fmt.Printf("sweep: %d cells (%d topologies x %d capacities x %d comm x circuits), compilers %v\n",
 		len(exp.Cells), len(exp.Grid.Topologies), len(exp.Grid.Capacities),
 		len(exp.Grid.CommCapacities), exp.Grid.Compilers)
@@ -147,17 +148,7 @@ func run() error {
 	// serialize them through the cache.
 	opt := sweep.Options{Parallelism: *parallelism, Cache: cache, Flight: muzzle.NewFlight(), Verify: *verifyFlag}
 	if !*quiet {
-		opt.OnCell = func(cr sweep.CellReport) {
-			if cr.Error != "" {
-				fmt.Printf("%-48s ERROR: %s\n", cr.ID, cr.Error)
-				return
-			}
-			var parts []string
-			for _, o := range cr.Outcomes {
-				parts = append(parts, fmt.Sprintf("%s=%d", o.Compiler, o.Shuttles))
-			}
-			fmt.Printf("%-48s shuttles: %s\n", cr.ID, strings.Join(parts, " "))
-		}
+		opt.OnCell = printCell
 	}
 
 	rep, err := exp.RunDir(ctx, *out, opt)
@@ -175,121 +166,172 @@ func run() error {
 	return nil
 }
 
-// gridFromFlags synthesizes a Grid from the comma-separated axis flags.
-func gridFromFlags(topoList, capList, commList, compilers, circuits string) (sweep.Grid, error) {
-	var g sweep.Grid
-	for _, spec := range splitList(topoList) {
-		ts, err := parseTopoFlag(spec)
-		if err != nil {
-			return g, err
-		}
-		g.Topologies = append(g.Topologies, ts)
+// printCell is the per-cell progress line shared by local and remote runs.
+func printCell(cr sweep.CellReport) {
+	if cr.Error != "" {
+		fmt.Printf("%-48s ERROR: %s\n", cr.ID, cr.Error)
+		return
 	}
-	var err error
-	if g.Capacities, err = parseIntList("-capacities", capList); err != nil {
-		return g, err
+	var parts []string
+	for _, o := range cr.Outcomes {
+		parts = append(parts, fmt.Sprintf("%s=%d", o.Compiler, o.Shuttles))
 	}
-	if g.CommCapacities, err = parseIntList("-comm", commList); err != nil {
-		return g, err
-	}
-	if compilers != "" {
-		g.Compilers = splitList(compilers)
-	}
-	for _, spec := range splitList(circuits) {
-		cs, err := parseCircuitFlag(spec)
-		if err != nil {
-			return g, err
-		}
-		g.Circuits = append(g.Circuits, cs)
-	}
-	return g, nil
+	fmt.Printf("%-48s shuttles: %s\n", cr.ID, strings.Join(parts, " "))
 }
 
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
+// runRemote submits the grid to a muzzled daemon (POST /v1/sweeps), riding
+// out admission backpressure — a 429 is an invitation to retry after the
+// daemon's own Retry-After estimate, not a failure — then polls the job to
+// completion and writes report.json/report.csv under outDir.
+func runRemote(ctx context.Context, base string, g sweep.Grid, outDir string, verify, quiet bool) error {
+	if verify {
+		// The per-sweep verify knob is daemon-side (-verify); the sweep
+		// grid itself carries no verify field.
+		fmt.Fprintln(os.Stderr, "muzzlesweep: note: -verify with -server requires the daemon to run with -verify")
 	}
-	return out
-}
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
 
-func parseIntList(flagName, s string) ([]int, error) {
-	var out []int
-	for _, part := range splitList(s) {
-		v, err := strconv.Atoi(part)
+	client := &http.Client{}
+	var view service.JobView
+	backoff := coord.Backoff{}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweeps", bytes.NewReader(body))
 		if err != nil {
-			return nil, fmt.Errorf("%s: bad value %q", flagName, part)
+			return err
 		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// parseTopoFlag parses line:N, ring:N, or grid:RxC.
-func parseTopoFlag(s string) (sweep.TopologySpec, error) {
-	family, arg, ok := strings.Cut(s, ":")
-	if !ok {
-		return sweep.TopologySpec{}, fmt.Errorf("-topo: %q should be line:N, ring:N, or grid:RxC", s)
-	}
-	switch family {
-	case sweep.FamilyLine, sweep.FamilyRing:
-		n, err := strconv.Atoi(arg)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
 		if err != nil {
-			return sweep.TopologySpec{}, fmt.Errorf("-topo: bad trap count in %q", s)
+			return err
 		}
-		return sweep.TopologySpec{Family: family, Traps: n}, nil
-	case sweep.FamilyGrid:
-		rs, cs, ok := strings.Cut(arg, "x")
-		if !ok {
-			return sweep.TopologySpec{}, fmt.Errorf("-topo: grid wants RxC, got %q", s)
-		}
-		rows, err1 := strconv.Atoi(rs)
-		cols, err2 := strconv.Atoi(cs)
-		if err1 != nil || err2 != nil {
-			return sweep.TopologySpec{}, fmt.Errorf("-topo: bad grid dimensions in %q", s)
-		}
-		return sweep.TopologySpec{Family: family, Rows: rows, Cols: cols}, nil
-	default:
-		return sweep.TopologySpec{}, fmt.Errorf("-topo: unknown family %q (custom topologies need -grid)", family)
-	}
-}
-
-// parseCircuitFlag parses paper, qft:N, or random:Q:G:SEED[:COUNT].
-func parseCircuitFlag(s string) (sweep.CircuitSpec, error) {
-	kind, rest, _ := strings.Cut(s, ":")
-	switch kind {
-	case sweep.CircuitPaper:
-		if rest != "" {
-			return sweep.CircuitSpec{}, fmt.Errorf("-circuits: paper takes no arguments, got %q", s)
-		}
-		return sweep.CircuitSpec{Kind: kind}, nil
-	case sweep.CircuitQFT:
-		n, err := strconv.Atoi(rest)
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
 		if err != nil {
-			return sweep.CircuitSpec{}, fmt.Errorf("-circuits: qft wants qft:N, got %q", s)
+			return err
 		}
-		return sweep.CircuitSpec{Kind: kind, Qubits: n}, nil
-	case sweep.CircuitRandom:
-		parts := strings.Split(rest, ":")
-		if len(parts) != 3 && len(parts) != 4 {
-			return sweep.CircuitSpec{}, fmt.Errorf("-circuits: random wants random:Q:G:SEED[:COUNT], got %q", s)
-		}
-		nums := make([]int64, len(parts))
-		for i, p := range parts {
-			v, err := strconv.ParseInt(p, 10, 64)
-			if err != nil {
-				return sweep.CircuitSpec{}, fmt.Errorf("-circuits: bad number %q in %q", p, s)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			delay := backoff.Delay(attempt, coord.RetryAfter(resp.Header))
+			fmt.Printf("daemon at capacity (429), retrying in %s\n", delay.Round(time.Millisecond))
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
 			}
-			nums[i] = v
+			continue
 		}
-		spec := sweep.CircuitSpec{Kind: kind, Qubits: int(nums[0]), Gates2Q: int(nums[1]), Seed: nums[2]}
-		if len(nums) == 4 {
-			spec.Count = int(nums[3])
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
 		}
-		return spec, nil
-	default:
-		return sweep.CircuitSpec{}, fmt.Errorf("-circuits: unknown kind %q (want paper, qft:N, random:Q:G:SEED[:COUNT])", kind)
+		if err := json.Unmarshal(raw, &view); err != nil {
+			return fmt.Errorf("submit: decode response: %w", err)
+		}
+		break
 	}
+	fmt.Printf("sweep %s submitted (%d cells)\n", view.ID, view.CircuitsTotal)
+
+	rep, err := pollSweep(ctx, client, base, view.ID, quiet)
+	if err != nil {
+		return err
+	}
+	if err := writeRemoteReports(outDir, rep); err != nil {
+		return err
+	}
+	if n := rep.Failures(); n > 0 {
+		return fmt.Errorf("%d of %d cells failed (see %s/report.json)", n, len(rep.Cells), outDir)
+	}
+	fmt.Printf("done: %d cells -> %s/report.json, %s/report.csv\n", len(rep.Cells), outDir, outDir)
+	return nil
+}
+
+// pollSweep polls the sweep job until it is terminal; on interrupt it
+// cancels the job daemon-side before returning.
+func pollSweep(ctx context.Context, client *http.Client, base, id string, quiet bool) (*sweep.Report, error) {
+	lastDone := 0
+	for {
+		select {
+		case <-ctx.Done():
+			// Best effort: don't leave the daemon computing a sweep nobody
+			// will read.
+			req, err := http.NewRequest(http.MethodDelete, base+"/v1/sweeps/"+id, nil)
+			if err == nil {
+				if resp, err := client.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+			return nil, ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/sweeps/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		var view service.JobView
+		err = json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("poll: %w", err)
+		}
+		if !quiet && view.CircuitsDone != lastDone {
+			fmt.Printf("progress: %d/%d cells\n", view.CircuitsDone, view.CircuitsTotal)
+			lastDone = view.CircuitsDone
+		}
+		if !view.State.Terminal() {
+			continue
+		}
+		if view.Sweep == nil {
+			return nil, fmt.Errorf("sweep %s %s: %s", id, view.State, view.Error)
+		}
+		if view.State != service.StateDone {
+			return view.Sweep, fmt.Errorf("sweep %s %s: %s", id, view.State, view.Error)
+		}
+		return view.Sweep, nil
+	}
+}
+
+// writeRemoteReports writes report.json/report.csv from a daemon-computed
+// report, atomically, matching the local artifact layout.
+func writeRemoteReports(dir string, rep *sweep.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var jb, cb bytes.Buffer
+	if err := sweep.WriteJSON(&jb, rep); err != nil {
+		return err
+	}
+	if err := sweep.WriteCSV(&cb, rep); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "report.json"), jb.Bytes()); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, "report.csv"), cb.Bytes())
+}
+
+func writeFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

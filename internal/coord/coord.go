@@ -1,0 +1,437 @@
+// Package coord is the distributed sweep coordinator: it fans the
+// deterministic cell list of an expanded sweep grid out across N muzzled
+// workers over HTTP (POST /v1/cells) and merges the results into exactly
+// the artifacts a local run would produce.
+//
+// The design leans on three properties the rest of the repo already
+// guarantees:
+//
+//   - Cells are a deterministic, indexed sharding unit (sweep.Expand): any
+//     worker given the same normalized grid resolves index i to the same
+//     coordinates, so dispatch carries only (grid, index) and workers stay
+//     stateless.
+//   - The content-addressed compile cache doubles as a shared blob store:
+//     point every worker's -cache-dir at one shared directory and
+//     overlapping cells across workers — including a cell re-dispatched
+//     after a worker died mid-flight — cost one compile fleet-wide.
+//   - The sweep.Dir manifest layout is the durable merge point: the
+//     coordinator persists completed cells through the same atomic
+//     tmp+fsync+rename path as a local run, so a distributed run directory
+//     is resumable by — and byte-compatible with — cmd/muzzlesweep.
+//
+// Dispatch respects worker backpressure: a 429 from a worker's admission
+// queue is honored with its Retry-After estimate plus jitter (and never
+// counts against the cell's retry budget), while transport failures and
+// 5xx responses mark the worker unhealthy, reassign the cell to another
+// worker, and leave revival to the background health probe.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muzzle/internal/sweep"
+)
+
+// ErrNoWorkers is returned when no worker is healthy at the start of a run,
+// or when every worker stays unhealthy past Config.NoWorkerTimeout while
+// cells are still owed.
+var ErrNoWorkers = errors.New("coord: no healthy workers")
+
+// errRunComplete is the internal cancel cause that tears down the probe
+// and slot goroutines after the last cell completed.
+var errRunComplete = errors.New("coord: run complete")
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Workers are the muzzled base URLs ("http://host:8077"), at least one.
+	Workers []string
+	// Client issues all worker HTTP requests (default: a plain client;
+	// per-request deadlines come from CellTimeout/ProbeTimeout).
+	Client *http.Client
+	// CellTimeout bounds one dispatch attempt of one cell (default 10m).
+	// A worker that exceeds it is treated as failed for that attempt and
+	// the cell is reassigned.
+	CellTimeout time.Duration
+	// MaxAttempts is the per-cell dispatch budget (default 3): failed
+	// attempts — transport errors, 5xx, timeouts — beyond it record the
+	// cell as failed in the report. 429 backpressure retries are free.
+	MaxAttempts int
+	// PerWorkerInFlight bounds concurrently dispatched cells per worker
+	// (0 = the worker pool size advertised by its /healthz, min 1).
+	PerWorkerInFlight int
+	// ProbeInterval is the health re-probe cadence for unhealthy workers
+	// (default 2s); ProbeTimeout bounds one probe (default 5s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// NoWorkerTimeout aborts a run that has had zero healthy workers for
+	// this long while cells are still owed (default 60s).
+	NoWorkerTimeout time.Duration
+	// Backoff shapes the jittered 429 retry delays.
+	Backoff Backoff
+	// Verify asks workers to run the independent schedule verifier on
+	// every cell.
+	Verify bool
+	// OnCell, when non-nil, receives each finished cell's report in
+	// completion order; it is never invoked concurrently with itself.
+	OnCell func(sweep.CellReport)
+	// Logf, when non-nil, receives dispatch diagnostics (reassignments,
+	// backoff waits, worker state changes).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults materializes the config's default knobs.
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.CellTimeout <= 0 {
+		c.CellTimeout = 10 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 5 * time.Second
+	}
+	if c.NoWorkerTimeout <= 0 {
+		c.NoWorkerTimeout = time.Minute
+	}
+	return c
+}
+
+// Coordinator shards sweep cells across a fixed worker fleet. Counters are
+// cumulative across runs; the zero value is not usable — construct with
+// New.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+	met     counters
+}
+
+// New validates the worker list and returns a coordinator. Workers are not
+// probed here — Run probes before dispatching.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("coord: need at least one worker URL")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg}
+	seen := make(map[string]bool, len(cfg.Workers))
+	for _, u := range cfg.Workers {
+		w, err := newWorker(u, cfg.Client)
+		if err != nil {
+			return nil, err
+		}
+		if seen[w.url] {
+			return nil, fmt.Errorf("coord: worker %s listed twice", w.url)
+		}
+		seen[w.url] = true
+		c.workers = append(c.workers, w)
+	}
+	return c, nil
+}
+
+// task is one cell awaiting dispatch; attempts counts failed dispatches
+// (not 429 backpressure waits).
+type task struct {
+	idx      int
+	attempts int
+}
+
+// Run executes the grid across the fleet without persistence and returns
+// the aggregated report — the in-memory analogue of sweep.Run.
+func (c *Coordinator) Run(ctx context.Context, g sweep.Grid) (*sweep.Report, error) {
+	e, err := sweep.Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	return c.run(ctx, e, nil)
+}
+
+// RunDir executes the grid across the fleet with the resumable sweep.Dir
+// manifest layout: completed cells land under dir/cells/ exactly as a
+// local muzzlesweep run would write them, and a directory started by
+// either side can be finished by the other.
+func (c *Coordinator) RunDir(ctx context.Context, g sweep.Grid, dir string) (*sweep.Report, error) {
+	e, err := sweep.Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sweep.OpenDir(dir, e)
+	if err != nil {
+		return nil, err
+	}
+	return c.run(ctx, e, d)
+}
+
+// run is the dispatch engine shared by Run and RunDir.
+func (c *Coordinator) run(ctx context.Context, e *sweep.Expanded, d *sweep.Dir) (*sweep.Report, error) {
+	// Probe the fleet up front: a run with zero reachable workers should
+	// fail before touching the cell list, not time out cell by cell.
+	healthyAtStart := 0
+	for _, w := range c.workers {
+		if w.probe(ctx, c.cfg) {
+			healthyAtStart++
+		}
+	}
+	if healthyAtStart == 0 {
+		return nil, fmt.Errorf("%w (probed %d)", ErrNoWorkers, len(c.workers))
+	}
+
+	var preloaded map[int]sweep.CellReport
+	if d != nil {
+		preloaded = d.Preloaded()
+	}
+	reports := make([]sweep.CellReport, len(e.Cells))
+	var pending []int
+	for i := range e.Cells {
+		if r, ok := preloaded[i]; ok {
+			reports[i] = r
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	c.met.cellsTotal.Add(int64(len(e.Cells)))
+	c.met.cellsPreloaded.Add(int64(len(preloaded)))
+
+	rep := &sweep.Report{Grid: e.Grid, Cells: reports}
+	if len(pending) == 0 {
+		if d != nil {
+			if err := d.WriteReports(rep); err != nil {
+				return rep, err
+			}
+		}
+		return rep, ctx.Err()
+	}
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(errRunComplete)
+
+	// The tasks channel holds every not-yet-completed cell; its capacity
+	// covers all of them, so requeues (backpressure, reassignment) never
+	// block a slot goroutine.
+	tasks := make(chan task, len(pending))
+	for _, i := range pending {
+		tasks <- task{idx: i}
+	}
+	remaining := int64(len(pending))
+	allDone := make(chan struct{})
+
+	var cbMu sync.Mutex
+	var persistErrs []error
+	complete := func(cr sweep.CellReport, persist bool) {
+		cbMu.Lock()
+		reports[cr.Index] = cr
+		if d != nil && persist {
+			if err := d.Persist(cr); err != nil {
+				persistErrs = append(persistErrs, err)
+			}
+		}
+		if c.cfg.OnCell != nil {
+			c.cfg.OnCell(cr)
+		}
+		cbMu.Unlock()
+		if atomic.AddInt64(&remaining, -1) == 0 {
+			close(allDone)
+		}
+	}
+
+	// Background probe loop: revive unhealthy workers, and abort the run
+	// if the whole fleet stays dark past NoWorkerTimeout.
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		c.probeLoop(runCtx, cancel)
+	}()
+
+	var slotWG sync.WaitGroup
+	for _, w := range c.workers {
+		slots := c.cfg.PerWorkerInFlight
+		if slots <= 0 {
+			slots = w.Advertised()
+		}
+		for s := 0; s < slots; s++ {
+			slotWG.Add(1)
+			go func(w *worker) {
+				defer slotWG.Done()
+				c.slotLoop(runCtx, w, e, tasks, allDone, complete)
+			}(w)
+		}
+	}
+
+	select {
+	case <-allDone:
+	case <-runCtx.Done():
+	}
+	cancel(errRunComplete)
+	slotWG.Wait()
+	probeWG.Wait()
+
+	// Cells still owed after an abort are recorded transiently — never
+	// persisted — so a resumed run re-dispatches them.
+	cause := context.Cause(runCtx)
+	for i := range reports {
+		if reports[i].ID == "" {
+			reports[i] = e.Cells[i].Skeleton()
+			reports[i].Error = cause.Error()
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return rep, errors.Join(append(persistErrs, err)...)
+	}
+	if !errors.Is(cause, errRunComplete) {
+		return rep, errors.Join(append(persistErrs, cause)...)
+	}
+	if d != nil {
+		if err := d.WriteReports(rep); err != nil {
+			persistErrs = append(persistErrs, err)
+		}
+	}
+	return rep, errors.Join(persistErrs...)
+}
+
+// probeLoop periodically re-probes unhealthy workers and cancels the run
+// with ErrNoWorkers when the whole fleet has been unhealthy for longer
+// than NoWorkerTimeout.
+func (c *Coordinator) probeLoop(ctx context.Context, cancel context.CancelCauseFunc) {
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	var unhealthySince time.Time
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		healthy := 0
+		for _, w := range c.workers {
+			if w.Healthy() {
+				healthy++
+				continue
+			}
+			if w.probe(ctx, c.cfg) {
+				healthy++
+				c.logf("coord: worker %s back in rotation", w.url)
+			}
+		}
+		if healthy > 0 {
+			unhealthySince = time.Time{}
+			continue
+		}
+		if unhealthySince.IsZero() {
+			unhealthySince = time.Now()
+		} else if time.Since(unhealthySince) >= c.cfg.NoWorkerTimeout {
+			c.logf("coord: aborting — no healthy workers for %s", c.cfg.NoWorkerTimeout)
+			cancel(ErrNoWorkers)
+			return
+		}
+	}
+}
+
+// slotLoop is one dispatch slot bound to one worker: it pulls cells only
+// while the worker is healthy, so an evicted worker's slots idle (cheaply
+// polling health) instead of pulling cells they cannot serve.
+func (c *Coordinator) slotLoop(ctx context.Context, w *worker, e *sweep.Expanded,
+	tasks chan task, allDone <-chan struct{}, complete func(sweep.CellReport, bool)) {
+	idle := c.cfg.ProbeInterval / 4
+	if idle < 10*time.Millisecond {
+		idle = 10 * time.Millisecond
+	}
+	if idle > 250*time.Millisecond {
+		idle = 250 * time.Millisecond
+	}
+	for {
+		if !w.Healthy() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-allDone:
+				return
+			case <-time.After(idle):
+			}
+			continue
+		}
+		var t task
+		select {
+		case <-ctx.Done():
+			return
+		case <-allDone:
+			return
+		case t = <-tasks:
+		}
+		c.dispatch(ctx, w, e, t, tasks, complete)
+	}
+}
+
+// dispatch executes one cell on one worker and routes the outcome:
+// success completes (and persists) the cell, backpressure sleeps the
+// jittered Retry-After and requeues without spending the retry budget,
+// and failure marks the worker unhealthy and reassigns the cell until its
+// attempt budget is exhausted.
+func (c *Coordinator) dispatch(ctx context.Context, w *worker, e *sweep.Expanded,
+	t task, tasks chan task, complete func(sweep.CellReport, bool)) {
+	c.met.dispatched.Add(1)
+	cr, res := w.executeCell(ctx, c.cfg, e, t.idx)
+	switch res.kind {
+	case dispatchOK:
+		c.met.completed.Add(1)
+		complete(cr, true)
+
+	case dispatchBackpressure:
+		c.met.retried.Add(1)
+		delay := c.cfg.Backoff.Delay(t.attempts, res.retryAfter)
+		c.logf("coord: worker %s at capacity, cell %d retries in %s", w.url, t.idx, delay.Round(time.Millisecond))
+		select {
+		case <-ctx.Done():
+			return // the abort fill-in records the cell as owed
+		case <-time.After(delay):
+		}
+		tasks <- t
+
+	case dispatchReject:
+		// The worker says this cell can never run (400). The coordinator
+		// validated the same grid, so this is version drift, not load:
+		// give up on the cell immediately but don't poison resume.
+		c.met.failed.Add(1)
+		cr := e.Cells[t.idx].Skeleton()
+		cr.Error = fmt.Sprintf("worker %s rejected cell: %v", w.url, res.err)
+		complete(cr, false)
+
+	case dispatchFailure:
+		if ctx.Err() != nil {
+			return // shutdown, not a worker fault
+		}
+		w.markUnhealthy(res.err)
+		c.logf("coord: worker %s failed cell %d (attempt %d/%d): %v",
+			w.url, t.idx, t.attempts+1, c.cfg.MaxAttempts, res.err)
+		t.attempts++
+		if t.attempts >= c.cfg.MaxAttempts {
+			c.met.failed.Add(1)
+			cr := e.Cells[t.idx].Skeleton()
+			cr.Error = fmt.Sprintf("dispatch failed after %d attempts: %v", t.attempts, res.err)
+			// Transient by nature (workers died, not the cell): recorded
+			// in the report but never persisted, so resume retries it.
+			complete(cr, false)
+			return
+		}
+		c.met.reassigned.Add(1)
+		tasks <- t
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,65 @@
+package coord
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryAfter parses a Retry-After response header (RFC 9110 §10.2.3):
+// either delay-seconds or an HTTP-date. Absent or unparseable headers —
+// and dates in the past — return 0, which callers treat as "no hint".
+func RetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Backoff shapes the coordinator's jittered retry delays. The zero value
+// uses the defaults (base 200ms, max 10s).
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Delay returns the wait before retry number attempt (0-based). With a
+// server hint (Retry-After) the delay is the hint plus up to half a base
+// of jitter — never below the hint, since the server knows its own queue.
+// Without one it is equal-jittered exponential backoff: half deterministic
+// growth, half random, so a burst of rejected dispatches fans back out
+// instead of reconverging on the worker in lockstep.
+func (b Backoff) Delay(attempt int, hint time.Duration) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	if hint > 0 {
+		return hint + time.Duration(rand.Int63n(int64(base)/2+1))
+	}
+	if attempt > 30 {
+		attempt = 30 // avoid shifting into overflow; capped by max anyway
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)/2+1))
+}

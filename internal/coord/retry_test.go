@@ -1,0 +1,67 @@
+package coord_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"muzzle/internal/coord"
+)
+
+func TestRetryAfterParsing(t *testing.T) {
+	h := func(v string) http.Header {
+		hdr := http.Header{}
+		if v != "" {
+			hdr.Set("Retry-After", v)
+		}
+		return hdr
+	}
+	if d := coord.RetryAfter(h("")); d != 0 {
+		t.Errorf("absent header = %v, want 0", d)
+	}
+	if d := coord.RetryAfter(h("3")); d != 3*time.Second {
+		t.Errorf("seconds = %v, want 3s", d)
+	}
+	if d := coord.RetryAfter(h("0")); d != 0 {
+		t.Errorf("zero seconds = %v, want 0", d)
+	}
+	if d := coord.RetryAfter(h("-5")); d != 0 {
+		t.Errorf("negative = %v, want 0", d)
+	}
+	if d := coord.RetryAfter(h("soon")); d != 0 {
+		t.Errorf("garbage = %v, want 0", d)
+	}
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := coord.RetryAfter(h(future)); d <= 3*time.Second || d > 5*time.Second {
+		t.Errorf("http-date = %v, want ~5s", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := coord.RetryAfter(h(past)); d != 0 {
+		t.Errorf("past http-date = %v, want 0", d)
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := coord.Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	for attempt := 0; attempt < 8; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt, 0)
+			if d <= 0 || d > b.Max {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, b.Max)
+			}
+		}
+	}
+	// A server hint is a floor, never shortened by jitter.
+	hint := 300 * time.Millisecond
+	for i := 0; i < 50; i++ {
+		d := b.Delay(0, hint)
+		if d < hint || d > hint+b.Base/2+time.Millisecond {
+			t.Fatalf("hinted delay %v outside [%v, %v]", d, hint, hint+b.Base/2)
+		}
+	}
+	// Zero value works and huge attempt counts don't overflow.
+	var zero coord.Backoff
+	if d := zero.Delay(1000, 0); d <= 0 || d > 10*time.Second {
+		t.Fatalf("zero-value delay(1000) = %v", d)
+	}
+}

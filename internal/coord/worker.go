@@ -1,0 +1,214 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muzzle/internal/service"
+	"muzzle/internal/sweep"
+)
+
+// worker is one muzzled instance in the fleet: its URL, its last known
+// health and identity, and its dispatch counters.
+type worker struct {
+	url    string
+	client *http.Client
+
+	mu         sync.Mutex
+	healthy    bool
+	info       service.WorkerInfo
+	advertised int // worker pool size from /healthz "workers"
+	lastErr    string
+
+	inflight   atomic.Int64
+	dispatched atomic.Int64
+	completed  atomic.Int64
+	errors     atomic.Int64
+	latencyNS  atomic.Int64
+	latencyN   atomic.Int64
+}
+
+// newWorker validates and normalizes one worker base URL.
+func newWorker(raw string, client *http.Client) (*worker, error) {
+	u, err := url.Parse(strings.TrimRight(raw, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("coord: worker url %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("coord: worker url %q: need http:// or https://", raw)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("coord: worker url %q: missing host", raw)
+	}
+	return &worker{url: u.String(), client: client}, nil
+}
+
+// Healthy reports the worker's last probed/observed health.
+func (w *worker) Healthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// Advertised returns the worker-pool size the daemon advertised on its
+// last successful probe (min 1, fallback 2 before any probe succeeded).
+func (w *worker) Advertised() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.advertised < 1 {
+		return 2
+	}
+	return w.advertised
+}
+
+// markUnhealthy takes the worker out of rotation until a probe revives it.
+func (w *worker) markUnhealthy(err error) {
+	w.mu.Lock()
+	w.healthy = false
+	if err != nil {
+		w.lastErr = err.Error()
+	}
+	w.mu.Unlock()
+	w.errors.Add(1)
+}
+
+// healthzBody is the slice of the daemon's /healthz response the
+// coordinator cares about.
+type healthzBody struct {
+	Status  string             `json:"status"`
+	Workers int                `json:"workers"`
+	Worker  service.WorkerInfo `json:"worker"`
+}
+
+// probe GETs the worker's /healthz and updates its health, identity, and
+// advertised pool size. A draining worker is deliberately unhealthy: it
+// refuses new cells (503), so keeping it in rotation only burns attempts.
+func (w *worker) probe(ctx context.Context, cfg Config) bool {
+	ctx, cancel := context.WithTimeout(ctx, cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		w.markUnhealthy(err)
+		return false
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.markUnhealthy(err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.markUnhealthy(fmt.Errorf("healthz: %s", resp.Status))
+		return false
+	}
+	var hb healthzBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hb); err != nil {
+		w.markUnhealthy(fmt.Errorf("healthz: decode: %w", err))
+		return false
+	}
+	if hb.Status != "ok" {
+		w.markUnhealthy(fmt.Errorf("healthz: status %q", hb.Status))
+		return false
+	}
+	w.mu.Lock()
+	w.healthy = true
+	w.info = hb.Worker
+	w.advertised = hb.Workers
+	w.lastErr = ""
+	w.mu.Unlock()
+	return true
+}
+
+// dispatchKind classifies one cell dispatch attempt.
+type dispatchKind int
+
+const (
+	dispatchOK           dispatchKind = iota // 200: deterministic result in hand
+	dispatchBackpressure                     // 429: worker queue full, retry after hint
+	dispatchReject                           // 400: worker says the cell can never run
+	dispatchFailure                          // transport error / 5xx / timeout: reassign
+)
+
+// dispatchResult carries the classification plus its supporting detail.
+type dispatchResult struct {
+	kind       dispatchKind
+	retryAfter time.Duration // backpressure hint, 0 if absent
+	err        error
+}
+
+// executeCell POSTs one cell to the worker and classifies the outcome. A
+// 200 body is validated against the coordinator's own expansion (index and
+// cell ID must match) so a drifted worker cannot corrupt the run dir.
+func (w *worker) executeCell(ctx context.Context, cfg Config, e *sweep.Expanded, idx int) (sweep.CellReport, dispatchResult) {
+	w.inflight.Add(1)
+	w.dispatched.Add(1)
+	start := time.Now()
+	defer func() {
+		w.latencyNS.Add(int64(time.Since(start)))
+		w.latencyN.Add(1)
+		w.inflight.Add(-1)
+	}()
+
+	body, err := json.Marshal(service.CellRequest{Grid: e.Grid, Index: idx, Verify: cfg.Verify})
+	if err != nil {
+		return sweep.CellReport{}, dispatchResult{kind: dispatchReject, err: err}
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.CellTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		return sweep.CellReport{}, dispatchResult{kind: dispatchFailure, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return sweep.CellReport{}, dispatchResult{kind: dispatchFailure, err: err}
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var cr sweep.CellReport
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&cr); err != nil {
+			return sweep.CellReport{}, dispatchResult{kind: dispatchFailure, err: fmt.Errorf("decode cell: %w", err)}
+		}
+		if cr.Index != idx || cr.ID != e.Cells[idx].ID {
+			return sweep.CellReport{}, dispatchResult{kind: dispatchFailure,
+				err: fmt.Errorf("cell mismatch: asked for %d (%s), got %d (%s)", idx, e.Cells[idx].ID, cr.Index, cr.ID)}
+		}
+		w.completed.Add(1)
+		return cr, dispatchResult{kind: dispatchOK}
+	case http.StatusTooManyRequests:
+		return sweep.CellReport{}, dispatchResult{kind: dispatchBackpressure,
+			retryAfter: RetryAfter(resp.Header), err: apiErrorOf(resp)}
+	case http.StatusBadRequest:
+		return sweep.CellReport{}, dispatchResult{kind: dispatchReject, err: apiErrorOf(resp)}
+	default:
+		// 503 (draining, canceled) and 5xx are all "not this worker, not
+		// now": reassign the cell elsewhere.
+		return sweep.CellReport{}, dispatchResult{kind: dispatchFailure, err: apiErrorOf(resp)}
+	}
+}
+
+// apiErrorOf condenses a non-200 response body into an error.
+func apiErrorOf(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var body struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, body.Error)
+	}
+	return errors.New(resp.Status)
+}

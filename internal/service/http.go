@@ -22,12 +22,15 @@ import (
 //	GET    /v1/sweeps/{id}        sweep snapshot with aggregated report
 //	DELETE /v1/sweeps/{id}        cancel a sweep
 //	GET    /v1/sweeps/{id}/stream SSE: one "cell" event per finished cell
+//	POST   /v1/cells              execute one sweep cell synchronously (the
+//	                              distributed coordinator's dispatch target)
 //	GET    /v1/compilers          registry listing
-//	GET    /healthz               liveness + uptime
+//	GET    /healthz               liveness + uptime + worker identity
 //	GET    /metrics               Prometheus-style text metrics
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("POST /v1/cells", m.handleCell)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.namespaceOnly(false, m.handleGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.namespaceOnly(false, m.handleCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", m.namespaceOnly(false, m.handleStream))
@@ -261,6 +264,7 @@ func (m *Manager) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"jobs_submitted": met.JobsSubmitted,
 		"queue_depth":    met.QueueDepth,
 		"queue_capacity": met.QueueCapacity,
+		"worker":         m.WorkerInfo(),
 	})
 }
 

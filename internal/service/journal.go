@@ -24,7 +24,8 @@ import (
 // — the whole point of the journal is that such jobs come back.
 
 // storedSubmit is the submission payload: everything needed to rebuild and
-// re-validate the job in a later process. Exactly one field is set.
+// re-validate the job in a later process. Exactly one of Request, Grid,
+// and Cell is set.
 type storedSubmit struct {
 	// Created is the original submission time.
 	Created time.Time `json:"created"`
@@ -32,6 +33,19 @@ type storedSubmit struct {
 	Request *Request `json:"request,omitempty"`
 	// Grid is a sweep job's normalized grid.
 	Grid *sweep.Grid `json:"grid,omitempty"`
+	// Cell is a single-cell job's grid + index (POST /v1/cells).
+	Cell *storedCell `json:"cell,omitempty"`
+}
+
+// storedCell journals one coordinator-dispatched cell. Recovered cell jobs
+// re-run without a waiting HTTP client: the result lands in the journal
+// and — via the shared content-addressed cache — makes the coordinator's
+// own retry of the cell nearly free.
+type storedCell struct {
+	Grid      sweep.Grid `json:"grid"`
+	Index     int        `json:"index"`
+	TimeoutMS int64      `json:"timeout_ms,omitempty"`
+	Verify    bool       `json:"verify,omitempty"`
 }
 
 // storedOutcome is the terminal payload: the results a restarted daemon
@@ -41,6 +55,7 @@ type storedOutcome struct {
 	Done    int                      `json:"done"`
 	Results []*muzzle.EvalResultJSON `json:"results,omitempty"`
 	Sweep   *sweep.Report            `json:"sweep,omitempty"`
+	Cell    *sweep.CellReport        `json:"cell,omitempty"`
 }
 
 // journalSubmit appends a job's durable submission record. Unlike the
@@ -51,9 +66,13 @@ func (m *Manager) journalSubmit(j *job) error {
 		return nil
 	}
 	sub := storedSubmit{Created: j.created}
-	if j.grid != nil {
+	switch {
+	case j.source == SourceCell:
+		sub.Cell = &storedCell{Grid: *j.grid, Index: j.cellIndex,
+			TimeoutMS: j.req.TimeoutMS, Verify: j.req.Verify}
+	case j.grid != nil:
 		sub.Grid = j.grid
-	} else {
+	default:
 		req := j.req
 		sub.Request = &req
 	}
@@ -97,6 +116,7 @@ func (m *Manager) journalFinal(j *job, state State, errText string) {
 		Done:    j.done,
 		Results: append([]*muzzle.EvalResultJSON(nil), j.results...),
 		Sweep:   j.report,
+		Cell:    j.cell,
 	}
 	j.mu.Unlock()
 	payload, err := json.Marshal(&out)
@@ -177,6 +197,9 @@ func (m *Manager) recoverJob(js *store.JobState) (j *job, runnable bool, err err
 		j.created = sub.Created
 	}
 	switch {
+	case sub.Cell != nil:
+		j.grid = &sub.Cell.Grid
+		j.compilers = append([]string(nil), sub.Cell.Grid.Compilers...)
 	case sub.Grid != nil:
 		j.grid = sub.Grid
 		j.compilers = append([]string(nil), sub.Grid.Compilers...)
@@ -196,6 +219,7 @@ func (m *Manager) recoverJob(js *store.JobState) (j *job, runnable bool, err err
 			j.total, j.done = out.Total, out.Done
 			j.results = out.Results
 			j.report = out.Sweep
+			j.cell = out.Cell
 		}
 		return j, false, nil
 	}
@@ -203,6 +227,18 @@ func (m *Manager) recoverJob(js *store.JobState) (j *job, runnable bool, err err
 	// Live job: rebuild the executable form, running → pending.
 	j.state = StatePending
 	switch {
+	case sub.Cell != nil:
+		e, err := m.expandCellGrid(sub.Cell.Grid)
+		if err != nil {
+			return j, false, fmt.Errorf("re-expand cell grid: %w", err)
+		}
+		if sub.Cell.Index < 0 || sub.Cell.Index >= len(e.Cells) {
+			return j, false, fmt.Errorf("cell index %d out of range [0, %d)", sub.Cell.Index, len(e.Cells))
+		}
+		j.sweep = e
+		j.cellIndex = sub.Cell.Index
+		j.req = Request{TimeoutMS: sub.Cell.TimeoutMS, Verify: sub.Cell.Verify}
+		j.total = 1
 	case sub.Grid != nil:
 		e, err := sweep.Expand(*sub.Grid)
 		if err != nil {

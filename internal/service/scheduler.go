@@ -220,6 +220,7 @@ func (m *Manager) view(j *job) JobView {
 		Error:         j.errText,
 		Results:       append([]*muzzle.EvalResultJSON(nil), j.results...),
 		Sweep:         j.report,
+		Cell:          j.cell,
 	}
 }
 
@@ -252,6 +253,10 @@ func (m *Manager) run(j *job) {
 	defer cancel()
 	m.journalState(j, StateRunning)
 
+	if j.source == SourceCell {
+		m.runCellJob(ctx, j)
+		return
+	}
 	if j.sweep != nil {
 		m.runSweep(ctx, j)
 		return

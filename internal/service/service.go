@@ -32,11 +32,13 @@ package service
 
 import (
 	"context"
+	"os"
 	"sync"
 	"time"
 
 	"muzzle"
 	"muzzle/internal/store"
+	"muzzle/internal/sweep"
 )
 
 // Config assembles a Manager.
@@ -80,6 +82,10 @@ type Config struct {
 	// sweep cell, regardless of the per-request Verify field (the muzzled
 	// -verify flag).
 	Verify bool
+	// WorkerID names this daemon in the /healthz worker identity block so
+	// a sweep coordinator can tell its workers apart; empty generates a
+	// random id per process.
+	WorkerID string
 }
 
 // Manager owns the job table, the bounded queue, and the worker pool.
@@ -101,7 +107,14 @@ type Manager struct {
 	recovered uint64
 	storeErrs uint64
 
-	latency *Histogram
+	// Expansion cache for POST /v1/cells: one coordinator sends many
+	// cells of the same grid, each carrying the full grid JSON.
+	expMu    sync.Mutex
+	expCache map[string]*sweep.Expanded
+	expOrder []string
+
+	hostname string
+	latency  *Histogram
 }
 
 // New starts a Manager and its workers. With Config.Journal set it first
@@ -118,14 +131,20 @@ func New(cfg Config) *Manager {
 	if cfg.JobRetention <= 0 {
 		cfg.JobRetention = 1024
 	}
+	if cfg.WorkerID == "" {
+		cfg.WorkerID = newJobID()
+	}
+	host, _ := os.Hostname()
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:     cfg,
-		start:   time.Now(),
-		baseCtx: ctx,
-		stop:    stop,
-		jobs:    make(map[string]*job),
-		latency: NewHistogram(DefaultLatencyBuckets()),
+		cfg:      cfg,
+		start:    time.Now(),
+		baseCtx:  ctx,
+		stop:     stop,
+		jobs:     make(map[string]*job),
+		expCache: make(map[string]*sweep.Expanded),
+		hostname: host,
+		latency:  NewHistogram(DefaultLatencyBuckets()),
 	}
 	// Recovery runs before the queue exists so the channel can be sized to
 	// hold every recovered job on top of the configured depth — re-admitting
@@ -236,6 +255,20 @@ func (m *Manager) RetryAfterSeconds() int {
 		return 60
 	}
 	return secs
+}
+
+// WorkerInfo is the identity block /healthz exposes so a coordinator can
+// tell its workers apart and spot version drift across a fleet.
+type WorkerInfo struct {
+	ID       string `json:"id"`
+	Version  string `json:"version"`
+	Hostname string `json:"hostname,omitempty"`
+	PID      int    `json:"pid"`
+}
+
+// WorkerInfo returns this daemon's identity block.
+func (m *Manager) WorkerInfo() WorkerInfo {
+	return WorkerInfo{ID: m.cfg.WorkerID, Version: Version, Hostname: m.hostname, PID: os.Getpid()}
 }
 
 // Metrics is the observable state of the service.

@@ -133,6 +133,7 @@ type JobView struct {
 	Error         string                   `json:"error,omitempty"`
 	Results       []*muzzle.EvalResultJSON `json:"results,omitempty"`
 	Sweep         *sweep.Report            `json:"sweep,omitempty"`
+	Cell          *sweep.CellReport        `json:"cell,omitempty"`
 }
 
 // Job sources, as reported by JobView.Source and journaled on submission.
@@ -140,7 +141,12 @@ const (
 	SourceQASM   = "qasm"
 	SourceRandom = "random"
 	SourceSweep  = "sweep"
+	SourceCell   = "cell"
 )
+
+// Version identifies a worker build. It appears in the /healthz worker
+// block so a coordinator can surface per-worker version drift.
+const Version = "0.7.0"
 
 // job is the manager's internal record. Its mutable fields are guarded by
 // mu; the manager's map lock is never held while mu is.
@@ -150,8 +156,9 @@ type job struct {
 	source    string          // SourceQASM, SourceRandom, or SourceSweep
 	compilers []string        // effective compiler set, for views
 	circ      *muzzle.Circuit // parsed QASM source (nil for random and sweep jobs)
-	sweep     *sweep.Expanded // sweep jobs: the validated, expanded grid (nil otherwise)
-	grid      *sweep.Grid     // sweep jobs: the normalized grid, for journaling
+	sweep     *sweep.Expanded // sweep and cell jobs: the validated, expanded grid (nil otherwise)
+	grid      *sweep.Grid     // sweep and cell jobs: the normalized grid, for journaling
+	cellIndex int             // cell jobs: which cell of the expanded grid to run
 
 	mu           sync.Mutex
 	state        State
@@ -161,7 +168,8 @@ type job struct {
 	total, done  int
 	errText      string
 	results      []*muzzle.EvalResultJSON
-	report       *sweep.Report // sweep jobs: aggregated report once the run ends
+	report       *sweep.Report     // sweep jobs: aggregated report once the run ends
+	cell         *sweep.CellReport // cell jobs: the single cell's report
 	events       []Event
 	subs         map[chan Event]struct{}
 	cancel       context.CancelFunc

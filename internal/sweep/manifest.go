@@ -1,14 +1,8 @@
 package sweep
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
-	"sort"
-	"sync"
 )
 
 // Artifact file names under a sweep directory.
@@ -35,170 +29,4 @@ type manifest struct {
 
 func cellPath(dir string, index int) string {
 	return filepath.Join(dir, cellsDir, fmt.Sprintf("cell-%06d.json", index))
-}
-
-// RunDir is Run with a resumable on-disk manifest: every completed cell is
-// persisted under dir/cells/ and recorded in dir/manifest.json, so an
-// interrupted sweep re-run with the same grid picks up where it stopped,
-// re-executing only unfinished cells. The final report is written to
-// dir/report.json and dir/report.csv. A directory holding a different
-// grid's manifest is rejected rather than overwritten.
-func RunDir(ctx context.Context, g Grid, dir string, opt Options) (*Report, error) {
-	e, err := Expand(g)
-	if err != nil {
-		return nil, err
-	}
-	return e.RunDir(ctx, dir, opt)
-}
-
-// RunDir is the resumable run over an already-expanded grid; see the
-// package RunDir.
-func (e *Expanded) RunDir(ctx context.Context, dir string, opt Options) (*Report, error) {
-	norm, cells := e.Grid, e.Cells
-	hash, err := Hash(norm)
-	if err != nil {
-		return nil, err
-	}
-	if err := os.MkdirAll(filepath.Join(dir, cellsDir), 0o755); err != nil {
-		return nil, fmt.Errorf("sweep: create artifact dir: %w", err)
-	}
-
-	m := manifest{Version: manifestVersion, GridHash: hash, Cells: len(cells)}
-	if data, err := os.ReadFile(filepath.Join(dir, manifestFile)); err == nil {
-		var prev manifest
-		if err := json.Unmarshal(data, &prev); err != nil {
-			return nil, fmt.Errorf("sweep: corrupt manifest in %s: %w", dir, err)
-		}
-		if prev.Version != manifestVersion {
-			return nil, fmt.Errorf("sweep: manifest in %s has version %d, this binary writes %d; use a fresh directory",
-				dir, prev.Version, manifestVersion)
-		}
-		if prev.GridHash != hash {
-			return nil, fmt.Errorf("sweep: directory %s belongs to a different grid (hash %.12s..., this grid %.12s...); use a fresh directory",
-				dir, prev.GridHash, hash)
-		}
-		m.Done = prev.Done
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("sweep: read manifest: %w", err)
-	}
-
-	// Reload completed cells; a missing or unreadable artifact simply
-	// re-runs that cell.
-	preloaded := make(map[int]CellReport, len(m.Done))
-	for _, idx := range m.Done {
-		if idx < 0 || idx >= len(cells) {
-			continue
-		}
-		data, err := os.ReadFile(cellPath(dir, idx))
-		if err != nil {
-			continue
-		}
-		var cr CellReport
-		if err := json.Unmarshal(data, &cr); err != nil || cr.ID != cells[idx].ID {
-			continue
-		}
-		preloaded[idx] = cr
-	}
-
-	// Persist each finished cell and refresh the manifest as results
-	// arrive, chaining any caller-supplied progress callback.
-	var persistMu sync.Mutex
-	var persistErrs []error
-	done := make(map[int]bool, len(cells))
-	for idx := range preloaded {
-		done[idx] = true
-	}
-	userCB := opt.OnCell
-	opt.OnCell = func(cr CellReport) {
-		// A cell that failed under a canceled context is transient — the
-		// work was interrupted, not impossible — so it must not be
-		// persisted as done or a resumed run would never re-execute it.
-		// Deterministic failures (infeasible cells) are persisted: they
-		// would fail identically on every re-run. Successful results are
-		// always persisted, even if cancellation landed after they
-		// finished.
-		transient := cr.Error != "" && ctx.Err() != nil
-		if !transient {
-			persistMu.Lock()
-			if err := writeCell(dir, cr); err != nil {
-				persistErrs = append(persistErrs, err)
-			} else {
-				done[cr.Index] = true
-				if err := writeManifest(dir, m, done); err != nil {
-					persistErrs = append(persistErrs, err)
-				}
-			}
-			persistMu.Unlock()
-		}
-		if userCB != nil {
-			userCB(cr)
-		}
-	}
-
-	reports := e.execute(ctx, opt, preloaded)
-	rep := &Report{Grid: norm, Cells: reports}
-	if err := ctx.Err(); err != nil {
-		return rep, errors.Join(append(persistErrs, err)...)
-	}
-	if err := writeReportFiles(dir, rep); err != nil {
-		persistErrs = append(persistErrs, err)
-	}
-	return rep, errors.Join(persistErrs...)
-}
-
-// writeCell persists one cell report atomically (write + rename).
-func writeCell(dir string, cr CellReport) error {
-	data, err := json.MarshalIndent(cr, "", "  ")
-	if err != nil {
-		return fmt.Errorf("sweep: encode cell %q: %w", cr.ID, err)
-	}
-	path := cellPath(dir, cr.Index)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// writeManifest rewrites the manifest with the current done set.
-func writeManifest(dir string, m manifest, done map[int]bool) error {
-	m.Done = make([]int, 0, len(done))
-	for idx := range done {
-		m.Done = append(m.Done, idx)
-	}
-	sort.Ints(m.Done)
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("sweep: encode manifest: %w", err)
-	}
-	path := filepath.Join(dir, manifestFile)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// writeReportFiles writes the aggregated JSON and CSV artifacts.
-func writeReportFiles(dir string, rep *Report) error {
-	jf, err := os.Create(filepath.Join(dir, reportFile))
-	if err != nil {
-		return err
-	}
-	if err := WriteJSON(jf, rep); err != nil {
-		jf.Close()
-		return err
-	}
-	if err := jf.Close(); err != nil {
-		return err
-	}
-	cf, err := os.Create(filepath.Join(dir, reportCSV))
-	if err != nil {
-		return err
-	}
-	if err := WriteCSV(cf, rep); err != nil {
-		cf.Close()
-		return err
-	}
-	return cf.Close()
 }

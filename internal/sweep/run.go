@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -54,6 +56,67 @@ func Run(ctx context.Context, g Grid, opt Options) (*Report, error) {
 func (e *Expanded) Run(ctx context.Context, opt Options) *Report {
 	reports := e.execute(ctx, opt, nil)
 	return &Report{Grid: e.Grid, Cells: reports}
+}
+
+// RunDir is Run with a resumable on-disk manifest: every completed cell is
+// persisted under dir/cells/ and recorded in dir/manifest.json, so an
+// interrupted sweep re-run with the same grid picks up where it stopped,
+// re-executing only unfinished cells. The final report is written to
+// dir/report.json and dir/report.csv. A directory holding a different
+// grid's manifest is rejected rather than overwritten.
+func RunDir(ctx context.Context, g Grid, dir string, opt Options) (*Report, error) {
+	e, err := Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunDir(ctx, dir, opt)
+}
+
+// RunDir is the resumable run over an already-expanded grid; see the
+// package RunDir. The on-disk layout is owned by Dir, which the
+// distributed coordinator (internal/coord) shares — either side can resume
+// a directory the other produced.
+func (e *Expanded) RunDir(ctx context.Context, dir string, opt Options) (*Report, error) {
+	d, err := OpenDir(dir, e)
+	if err != nil {
+		return nil, err
+	}
+
+	// Persist each finished cell and refresh the manifest as results
+	// arrive, chaining any caller-supplied progress callback.
+	var persistMu sync.Mutex
+	var persistErrs []error
+	userCB := opt.OnCell
+	opt.OnCell = func(cr CellReport) {
+		// A cell that failed under a canceled context is transient — the
+		// work was interrupted, not impossible — so it must not be
+		// persisted as done or a resumed run would never re-execute it.
+		// Deterministic failures (infeasible cells) are persisted: they
+		// would fail identically on every re-run. Successful results are
+		// always persisted, even if cancellation landed after they
+		// finished.
+		transient := cr.Error != "" && ctx.Err() != nil
+		if !transient {
+			if err := d.Persist(cr); err != nil {
+				persistMu.Lock()
+				persistErrs = append(persistErrs, err)
+				persistMu.Unlock()
+			}
+		}
+		if userCB != nil {
+			userCB(cr)
+		}
+	}
+
+	reports := e.execute(ctx, opt, d.Preloaded())
+	rep := &Report{Grid: e.Grid, Cells: reports}
+	if err := ctx.Err(); err != nil {
+		return rep, errors.Join(append(persistErrs, err)...)
+	}
+	if err := d.WriteReports(rep); err != nil {
+		persistErrs = append(persistErrs, err)
+	}
+	return rep, errors.Join(persistErrs...)
 }
 
 // execute runs every cell not already present in preloaded through the
@@ -113,6 +176,18 @@ func (e *Expanded) execute(ctx context.Context, opt Options, preloaded map[int]C
 	return reports
 }
 
+// RunCell executes exactly one cell of the expanded grid — the unit the
+// distributed coordinator dispatches to a worker. The returned report is
+// identical to what a full local run would record for that cell (per-cell
+// failures land in CellReport.Error, not the error return); the error
+// return covers only an out-of-range index.
+func (e *Expanded) RunCell(ctx context.Context, index int, opt Options) (CellReport, error) {
+	if index < 0 || index >= len(e.Cells) {
+		return CellReport{}, fmt.Errorf("sweep: cell index %d out of range [0, %d)", index, len(e.Cells))
+	}
+	return runCell(ctx, e.Grid, e.Cells[index], opt), nil
+}
+
 // skeleton returns a CellReport carrying just the cell's coordinates.
 func skeleton(c Cell) CellReport {
 	return CellReport{
@@ -125,6 +200,11 @@ func skeleton(c Cell) CellReport {
 		Circuit:      c.Circuit,
 	}
 }
+
+// Skeleton returns a report carrying only the cell's coordinates — the
+// shape the coordinator uses to record a cell that permanently failed to
+// dispatch.
+func (c Cell) Skeleton() CellReport { return skeleton(c) }
 
 // runCell evaluates one cell: a pipeline over the cell's machine point and
 // the grid's compiler set, sharing the sweep-wide cache, applied to the
