@@ -2,6 +2,7 @@ package muzzle
 
 import (
 	"io"
+	"time"
 
 	"muzzle/internal/cache"
 	"muzzle/internal/eval"
@@ -22,6 +23,20 @@ type CacheConfig struct {
 	// approximately LRU); a long-running daemon thus cannot fill its
 	// volume. Eviction and resident-file counts are exposed via Stats.
 	MaxDiskEntries int
+	// DiskTripThreshold is how many consecutive disk-tier I/O errors
+	// trip the cache to memory-only operation (0 = 8). A tripped tier
+	// never fails a request — lookups and inserts keep working from
+	// memory — and re-probes the disk periodically, recovering on the
+	// first successful operation. Trips and errors are exposed via
+	// Stats (DiskTripped, DiskTrips, DiskErrors).
+	DiskTripThreshold int
+	// DiskRetryInterval is how long a tripped disk tier waits between
+	// re-probe attempts (0 = 30s).
+	DiskRetryInterval time.Duration
+	// FaultScope, when non-empty, subjects the disk tier's I/O to the
+	// process-global fault injector under this scope — the hook the
+	// chaos tests use to exercise trips. Leave empty in production.
+	FaultScope string
 }
 
 // Cache is a content-addressed store of completed per-circuit evaluation
@@ -38,7 +53,14 @@ type Cache struct {
 // NewCache builds a compile cache. The persistence directory, when
 // configured, is created eagerly so path problems surface here.
 func NewCache(cfg CacheConfig) (*Cache, error) {
-	lru, err := cache.New(cache.Config{MaxEntries: cfg.MaxEntries, Dir: cfg.Dir, MaxDiskEntries: cfg.MaxDiskEntries})
+	lru, err := cache.New(cache.Config{
+		MaxEntries:        cfg.MaxEntries,
+		Dir:               cfg.Dir,
+		MaxDiskEntries:    cfg.MaxDiskEntries,
+		DiskTripThreshold: cfg.DiskTripThreshold,
+		DiskRetryInterval: cfg.DiskRetryInterval,
+		FaultScope:        cfg.FaultScope,
+	})
 	if err != nil {
 		return nil, newError(ErrBadOption, "NewCache", err)
 	}

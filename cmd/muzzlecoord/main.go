@@ -46,6 +46,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -158,8 +159,9 @@ func run() error {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -172,6 +174,21 @@ func run() error {
 
 	rep, err := c.RunDir(ctx, grid, *out)
 	if err != nil {
+		// SIGINT/SIGTERM is an orderly stop, not a failure: every completed
+		// cell was already persisted under -out as it finished, so a re-run
+		// with the same flags resumes from exactly where this one stopped.
+		// Only the signal path exits 0 — a -timeout abort stays an error.
+		if sigCtx.Err() != nil && errors.Is(err, context.Canceled) {
+			done := 0
+			for _, cr := range rep.Cells {
+				if cr.Error == "" {
+					done++
+				}
+			}
+			fmt.Printf("interrupted: %d of %d cells persisted under %s; re-run with the same flags to resume\n",
+				done, len(rep.Cells), *out)
+			return nil
+		}
 		return err
 	}
 	met := c.MetricsSnapshot()

@@ -43,6 +43,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -116,16 +117,30 @@ func run() error {
 		return err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// SIGINT/SIGTERM is an orderly stop: completed cells are already
+	// persisted (locally under -out, remotely daemon-side), so exit 0 and
+	// let a re-run resume. A -timeout abort stays an error.
+	graceful := func(err error) bool {
+		return sigCtx.Err() != nil && errors.Is(err, context.Canceled)
+	}
 
 	if *server != "" {
-		return runRemote(ctx, *server, grid, *out, *verifyFlag, *quiet)
+		if err := runRemote(ctx, *server, grid, *out, *verifyFlag, *quiet); err != nil {
+			if graceful(err) {
+				fmt.Println("interrupted: sweep canceled daemon-side; resubmit to start over, or query the daemon for partial results")
+				return nil
+			}
+			return err
+		}
+		return nil
 	}
 
 	var cache *muzzle.Cache
@@ -153,6 +168,17 @@ func run() error {
 
 	rep, err := exp.RunDir(ctx, *out, opt)
 	if err != nil {
+		if graceful(err) {
+			done := 0
+			for _, cr := range rep.Cells {
+				if cr.Error == "" {
+					done++
+				}
+			}
+			fmt.Printf("interrupted: %d of %d cells persisted under %s; re-run with the same flags to resume\n",
+				done, len(rep.Cells), *out)
+			return nil
+		}
 		return err
 	}
 	if cache != nil {

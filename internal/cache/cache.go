@@ -17,6 +17,7 @@ package cache
 
 import (
 	"container/list"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -26,12 +27,21 @@ import (
 
 	"muzzle/internal/circuit"
 	"muzzle/internal/eval"
+	"muzzle/internal/faults"
 	"muzzle/internal/machine"
 	"muzzle/internal/sim"
 )
 
 // DefaultMaxEntries bounds the in-memory LRU when no limit is configured.
 const DefaultMaxEntries = 1024
+
+// Disk-tier degradation defaults: the tier trips to memory-only after
+// DefaultDiskTripThreshold consecutive I/O errors and re-probes the disk
+// every DefaultDiskRetryInterval until it recovers.
+const (
+	DefaultDiskTripThreshold = 8
+	DefaultDiskRetryInterval = 30 * time.Second
+)
 
 // Config sizes an LRU and optionally roots its disk persistence.
 type Config struct {
@@ -47,6 +57,19 @@ type Config struct {
 	// sweep cost amortizes over many inserts. Reads refresh mtimes, making
 	// eviction approximately least-recently-used.
 	MaxDiskEntries int
+	// DiskTripThreshold is how many consecutive disk I/O errors trip the
+	// disk tier to memory-only operation (0 = DefaultDiskTripThreshold).
+	// A tripped tier stops issuing disk reads and writes — requests keep
+	// succeeding from memory — and re-probes the disk periodically.
+	DiskTripThreshold int
+	// DiskRetryInterval is how long a tripped disk tier waits between
+	// re-probe attempts (0 = DefaultDiskRetryInterval). A successful
+	// probe operation recovers the tier.
+	DiskRetryInterval time.Duration
+	// FaultScope, when non-empty, subjects the disk tier's I/O to the
+	// process-global fault injector (internal/faults) under this scope.
+	// Tests only; empty in production.
+	FaultScope string
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -69,6 +92,15 @@ type Stats struct {
 	DiskEntries int `json:"disk_entries,omitempty"`
 	// DiskEvictions counts files deleted by the MaxDiskEntries sweep.
 	DiskEvictions uint64 `json:"disk_evictions,omitempty"`
+	// DiskErrors counts disk-tier I/O failures — failed reads (open or
+	// decode), failed writes, and failed sweep deletions. Before this
+	// counter existed, read-side failures vanished silently.
+	DiskErrors uint64 `json:"disk_errors,omitempty"`
+	// DiskTripped reports whether the disk tier is currently tripped to
+	// memory-only operation after consecutive I/O errors.
+	DiskTripped bool `json:"disk_tripped,omitempty"`
+	// DiskTrips counts how many times the disk tier has tripped.
+	DiskTrips uint64 `json:"disk_trips,omitempty"`
 }
 
 type entry struct {
@@ -87,6 +119,17 @@ type LRU struct {
 	items   map[string]*list.Element
 	stats   Stats
 
+	// Disk-tier degradation state, guarded by mu. consecErrs counts
+	// consecutive failed disk I/O operations (any success resets it);
+	// reaching tripAfter trips the tier to memory-only until a re-probe
+	// — the first disk operation allowed once probeAt passes — succeeds.
+	faultScope string
+	tripAfter  int
+	retryEvery time.Duration
+	consecErrs int
+	tripped    bool
+	probeAt    time.Time
+
 	// diskMu serializes disk sweeps (listing + deleting) so concurrent
 	// inserts past the bound do not race over the same victims; the
 	// resident count itself lives in stats.DiskEntries under mu.
@@ -101,12 +144,21 @@ func New(cfg Config) (*LRU, error) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = DefaultMaxEntries
 	}
+	if cfg.DiskTripThreshold <= 0 {
+		cfg.DiskTripThreshold = DefaultDiskTripThreshold
+	}
+	if cfg.DiskRetryInterval <= 0 {
+		cfg.DiskRetryInterval = DefaultDiskRetryInterval
+	}
 	l := &LRU{
-		max:     cfg.MaxEntries,
-		dir:     cfg.Dir,
-		maxDisk: cfg.MaxDiskEntries,
-		ll:      list.New(),
-		items:   make(map[string]*list.Element),
+		max:        cfg.MaxEntries,
+		dir:        cfg.Dir,
+		maxDisk:    cfg.MaxDiskEntries,
+		faultScope: cfg.FaultScope,
+		tripAfter:  cfg.DiskTripThreshold,
+		retryEvery: cfg.DiskRetryInterval,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
 	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
@@ -142,10 +194,10 @@ func (l *LRU) GetKey(key string) (*eval.BenchResult, bool) {
 		l.mu.Unlock()
 		return res, true
 	}
-	dir := l.dir
+	useDisk := l.diskAllowedLocked()
 	l.mu.Unlock()
 
-	if dir != "" {
+	if useDisk {
 		if res := l.loadDisk(key); res != nil {
 			l.mu.Lock()
 			// Re-check: a concurrent disk hit (or Put) may have inserted
@@ -176,19 +228,78 @@ func (l *LRU) PutKey(key string, r *eval.BenchResult) {
 	if el, ok := l.items[key]; ok {
 		l.ll.MoveToFront(el)
 		el.Value.(*entry).res = r
-		dir := l.dir
+		useDisk := l.diskAllowedLocked()
 		l.mu.Unlock()
-		if dir != "" {
+		if useDisk {
 			l.storeDisk(key, r)
 		}
 		return
 	}
 	l.insertLocked(key, r)
-	dir := l.dir
+	useDisk := l.diskAllowedLocked()
 	l.mu.Unlock()
-	if dir != "" {
+	if useDisk {
 		l.storeDisk(key, r)
 	}
+}
+
+// diskAllowedLocked decides whether the next operation may touch the
+// disk tier. With the tier tripped, it stays memory-only until the
+// re-probe deadline passes; the caller that crosses the deadline gets
+// one probe attempt and the deadline advances, so a still-broken disk
+// is poked once per interval, not hammered by every request.
+func (l *LRU) diskAllowedLocked() bool {
+	if l.dir == "" {
+		return false
+	}
+	if !l.tripped {
+		return true
+	}
+	now := time.Now()
+	if now.Before(l.probeAt) {
+		return false
+	}
+	l.probeAt = now.Add(l.retryEvery)
+	return true
+}
+
+// noteDiskErr records one failed disk I/O operation and trips the tier
+// after tripAfter consecutive failures. The trip and the recovery each
+// log exactly once.
+func (l *LRU) noteDiskErr(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.DiskErrors++
+	l.consecErrs++
+	if l.tripped || l.consecErrs < l.tripAfter {
+		return
+	}
+	l.tripped = true
+	l.probeAt = time.Now().Add(l.retryEvery)
+	l.stats.DiskTrips++
+	log.Printf("cache: disk tier %s tripped after %d consecutive I/O errors (last: %v); degrading to memory-only, re-probing every %s",
+		l.dir, l.consecErrs, err, l.retryEvery)
+}
+
+// noteDiskSoftErr records a failure that is not evidence of a bad disk
+// (a corrupt entry, a failed sweep deletion): counted, never trips.
+func (l *LRU) noteDiskSoftErr() {
+	l.mu.Lock()
+	l.stats.DiskErrors++
+	l.mu.Unlock()
+}
+
+// noteDiskOK records one successful disk operation, resetting the
+// consecutive-error count and recovering a tripped tier.
+func (l *LRU) noteDiskOK() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.consecErrs = 0
+	if !l.tripped {
+		return
+	}
+	l.tripped = false
+	log.Printf("cache: disk tier %s recovered; resuming disk persistence", l.dir)
 }
 
 // insertLocked adds a fresh entry and enforces the memory bound.
@@ -208,6 +319,7 @@ func (l *LRU) Stats() Stats {
 	defer l.mu.Unlock()
 	s := l.stats
 	s.Entries = l.ll.Len()
+	s.DiskTripped = l.tripped
 	return s
 }
 
@@ -224,16 +336,27 @@ func (l *LRU) path(key string) string {
 }
 
 func (l *LRU) loadDisk(key string) *eval.BenchResult {
+	if err := faults.Check(l.faultScope, faults.OpRead); err != nil {
+		l.noteDiskErr(err)
+		return nil
+	}
 	p := l.path(key)
 	f, err := os.Open(p)
 	if err != nil {
+		if os.IsNotExist(err) {
+			l.noteDiskOK() // a clean miss is a healthy disk operation
+		} else {
+			l.noteDiskErr(err)
+		}
 		return nil
 	}
 	defer f.Close()
 	j, err := eval.ReadResultJSON(f)
 	if err != nil {
+		l.noteDiskSoftErr()
 		return nil // corrupt entry: treat as miss, a fresh Put overwrites it
 	}
+	l.noteDiskOK()
 	// Refresh the file's mtime so the MaxDiskEntries sweep (oldest mtime
 	// first) approximates LRU rather than FIFO. Best-effort: a failed
 	// touch only makes this entry an earlier eviction candidate.
@@ -247,38 +370,49 @@ func (l *LRU) loadDisk(key string) *eval.BenchResult {
 // entry.
 func (l *LRU) storeDisk(key string, r *eval.BenchResult) {
 	p := l.path(key)
-	fail := func() {
+	fail := func(err error) {
 		l.mu.Lock()
 		l.stats.WriteErrors++
 		l.mu.Unlock()
+		l.noteDiskErr(err)
+	}
+	if err := faults.Check(l.faultScope, faults.OpWrite); err != nil {
+		fail(err)
+		return
 	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		fail()
+		fail(err)
 		return
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp-*")
 	if err != nil {
-		fail()
+		fail(err)
 		return
 	}
 	if err := eval.WriteResultJSON(tmp, r); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		fail()
+		fail(err)
 		return
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		fail()
+		fail(err)
+		return
+	}
+	if err := faults.Check(l.faultScope, faults.OpRename); err != nil {
+		os.Remove(tmp.Name())
+		fail(err)
 		return
 	}
 	_, statErr := os.Stat(p)
 	existed := statErr == nil
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
-		fail()
+		fail(err)
 		return
 	}
+	l.noteDiskOK()
 	if existed {
 		return
 	}
@@ -358,18 +492,26 @@ func (l *LRU) sweepDisk() {
 		target = 1
 	}
 	evicted := uint64(0)
+	sweepErrs := uint64(0)
 	remaining := len(files)
 	for _, f := range files {
 		if remaining <= target {
 			break
 		}
+		if err := faults.Check(l.faultScope, faults.OpRemove); err != nil {
+			sweepErrs++
+			continue
+		}
 		if os.Remove(f.path) == nil {
 			evicted++
 			remaining--
+		} else {
+			sweepErrs++
 		}
 	}
 	l.mu.Lock()
 	l.stats.DiskEntries = remaining
 	l.stats.DiskEvictions += evicted
+	l.stats.DiskErrors += sweepErrs
 	l.mu.Unlock()
 }

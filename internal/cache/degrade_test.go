@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"muzzle/internal/faults"
+)
+
+// TestDiskTierTripAndRecover is the degradation acceptance test: injected
+// disk I/O errors trip the tier to memory-only without failing a single
+// cache operation, and after the re-probe interval (with the fault budget
+// spent) the tier recovers and persists again.
+func TestDiskTierTripAndRecover(t *testing.T) {
+	const tripAfter = 3
+	// Budget covers the trip plus a couple of failed re-probes; once
+	// spent, the "disk" is healthy again.
+	inj := faults.New(42,
+		faults.Rule{Scope: "trip.cache", Op: faults.OpWrite, Count: tripAfter + 2},
+	)
+	defer faults.Install(inj)()
+
+	l, err := New(Config{
+		Dir:               t.TempDir(),
+		FaultScope:        "trip.cache",
+		DiskTripThreshold: tripAfter,
+		DiskRetryInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every Put during the outage must still succeed into memory.
+	for i := 0; i < tripAfter; i++ {
+		key := fmt.Sprintf("%064d", i)
+		l.PutKey(key, sampleResult(fmt.Sprintf("c%d", i), i))
+		if _, ok := l.GetKey(key); !ok {
+			t.Fatalf("Get(%d) missed during disk outage — degradation failed a request", i)
+		}
+	}
+	s := l.Stats()
+	if !s.DiskTripped || s.DiskTrips != 1 {
+		t.Fatalf("after %d write errors: tripped=%v trips=%d, want tripped once", tripAfter, s.DiskTripped, s.DiskTrips)
+	}
+	if s.DiskErrors < tripAfter {
+		t.Fatalf("DiskErrors = %d, want >= %d", s.DiskErrors, tripAfter)
+	}
+	if s.DiskEntries != 0 {
+		t.Fatalf("disk tier has %d entries despite every write failing", s.DiskEntries)
+	}
+
+	// While tripped, operations skip the disk entirely: no new injector
+	// activity, no new errors.
+	errsBefore, firedBefore := s.DiskErrors, inj.Total()
+	l.PutKey(fmt.Sprintf("%064d", 99), sampleResult("tripped", 9))
+	if s2 := l.Stats(); s2.DiskErrors != errsBefore {
+		t.Fatalf("tripped tier touched the disk: errors %d -> %d", errsBefore, s2.DiskErrors)
+	}
+	if inj.Total() != firedBefore {
+		t.Fatalf("tripped tier announced disk ops: injector fired %d -> %d", firedBefore, inj.Total())
+	}
+
+	// Recovery: after the interval the tier re-probes. The first probes
+	// burn the rest of the fault budget and re-arm the trip; keep writing
+	// past them and the tier must come back and persist for real.
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		time.Sleep(35 * time.Millisecond)
+		key := fmt.Sprintf("%063dr", i)
+		l.PutKey(key, sampleResult(fmt.Sprintf("r%d", i), i))
+		if s := l.Stats(); !s.DiskTripped && s.DiskEntries > 0 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("disk tier never recovered after fault budget spent: %+v", l.Stats())
+	}
+
+	// A fresh LRU over the same dir must see the recovered entries —
+	// proof the post-recovery persistence was real.
+	l2, err := New(Config{Dir: l.dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Stats().DiskEntries == 0 {
+		t.Fatal("no files on disk after recovery")
+	}
+}
+
+// TestDiskReadFaultsCountAndServeMisses pins satellite behavior: injected
+// read failures surface in DiskErrors (formerly swallowed) and degrade to
+// cache misses, never errors.
+func TestDiskReadFaultsCountAndServeMisses(t *testing.T) {
+	inj := faults.New(7, faults.Rule{Scope: "read.cache", Op: faults.OpRead, Count: 2})
+	defer faults.Install(inj)()
+
+	dir := t.TempDir()
+	seed, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fmt.Sprintf("%064d", 1)
+	seed.PutKey(key, sampleResult("seed", 1))
+
+	l, err := New(Config{Dir: dir, FaultScope: "read.cache"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two faulted reads: misses, counted.
+	for i := 0; i < 2; i++ {
+		if _, ok := l.GetKey(key); ok {
+			t.Fatalf("read %d hit despite injected fault", i)
+		}
+	}
+	if s := l.Stats(); s.DiskErrors != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 disk errors and 2 misses", s)
+	}
+	// Budget spent: the entry is served from disk again.
+	if _, ok := l.GetKey(key); !ok {
+		t.Fatal("clean read missed")
+	}
+	if s := l.Stats(); s.DiskHits != 1 || s.DiskTripped {
+		t.Fatalf("stats after recovery = %+v", s)
+	}
+}

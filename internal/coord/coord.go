@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"muzzle/internal/faults"
 	"muzzle/internal/sweep"
 )
 
@@ -74,6 +75,25 @@ type Config struct {
 	NoWorkerTimeout time.Duration
 	// Backoff shapes the jittered 429 retry delays.
 	Backoff Backoff
+	// BreakerThreshold is the per-worker circuit breaker: after this many
+	// consecutive dispatch failures the worker's circuit opens and its
+	// slots stop pulling cells — even if its /healthz still answers —
+	// until BreakerCooldown elapses and a half-open trial dispatch
+	// succeeds (default 3; negative disables). The breaker sits under the
+	// retry/reassign logic: failures still reassign the cell, the breaker
+	// just keeps a flaky worker from burning attempt budgets.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before admitting
+	// the half-open trial dispatch (default 5s).
+	BreakerCooldown time.Duration
+	// FaultScope, when non-empty, wraps the worker client's transport
+	// with the process-global fault injector (internal/faults) under this
+	// scope — the chaos tests' hook for latency, connection resets, and
+	// injected 5xx. Empty in production.
+	FaultScope string
+	// DirFaultScope, when non-empty, subjects RunDir's artifact writes to
+	// the fault injector under this scope. Tests only.
+	DirFaultScope string
 	// Verify asks workers to run the independent schedule verifier on
 	// every cell.
 	Verify bool
@@ -104,6 +124,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NoWorkerTimeout <= 0 {
 		c.NoWorkerTimeout = time.Minute
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.FaultScope != "" {
+		// Wrap a copy: the caller's client must not see injected faults.
+		cl := *c.Client
+		cl.Transport = faults.RoundTripper(c.FaultScope, cl.Transport)
+		c.Client = &cl
 	}
 	return c
 }
@@ -169,6 +201,9 @@ func (c *Coordinator) RunDir(ctx context.Context, g sweep.Grid, dir string) (*sw
 	d, err := sweep.OpenDir(dir, e)
 	if err != nil {
 		return nil, err
+	}
+	if c.cfg.DirFaultScope != "" {
+		d.SetFaultScope(c.cfg.DirFaultScope)
 	}
 	return c.run(ctx, e, d)
 }
@@ -340,8 +375,11 @@ func (c *Coordinator) probeLoop(ctx context.Context, cancel context.CancelCauseF
 }
 
 // slotLoop is one dispatch slot bound to one worker: it pulls cells only
-// while the worker is healthy, so an evicted worker's slots idle (cheaply
-// polling health) instead of pulling cells they cannot serve.
+// while the worker is healthy AND its circuit breaker admits dispatches,
+// so an evicted or tripped worker's slots idle (cheaply polling health)
+// instead of pulling cells they cannot serve. The breaker token is
+// acquired before pulling a task — a half-open circuit admits exactly one
+// trial — and released on every exit path that skips the dispatch.
 func (c *Coordinator) slotLoop(ctx context.Context, w *worker, e *sweep.Expanded,
 	tasks chan task, allDone <-chan struct{}, complete func(sweep.CellReport, bool)) {
 	idle := c.cfg.ProbeInterval / 4
@@ -352,7 +390,7 @@ func (c *Coordinator) slotLoop(ctx context.Context, w *worker, e *sweep.Expanded
 		idle = 250 * time.Millisecond
 	}
 	for {
-		if !w.Healthy() {
+		if !w.Healthy() || !w.acquireBreaker(c.cfg) {
 			select {
 			case <-ctx.Done():
 				return
@@ -365,8 +403,10 @@ func (c *Coordinator) slotLoop(ctx context.Context, w *worker, e *sweep.Expanded
 		var t task
 		select {
 		case <-ctx.Done():
+			w.releaseBreaker()
 			return
 		case <-allDone:
+			w.releaseBreaker()
 			return
 		case t = <-tasks:
 		}
@@ -385,10 +425,12 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, e *sweep.Expanded
 	cr, res := w.executeCell(ctx, c.cfg, e, t.idx)
 	switch res.kind {
 	case dispatchOK:
+		w.noteDispatch(false, c.cfg)
 		c.met.completed.Add(1)
 		complete(cr, true)
 
 	case dispatchBackpressure:
+		w.noteDispatch(false, c.cfg)
 		c.met.retried.Add(1)
 		delay := c.cfg.Backoff.Delay(t.attempts, res.retryAfter)
 		c.logf("coord: worker %s at capacity, cell %d retries in %s", w.url, t.idx, delay.Round(time.Millisecond))
@@ -403,6 +445,7 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, e *sweep.Expanded
 		// The worker says this cell can never run (400). The coordinator
 		// validated the same grid, so this is version drift, not load:
 		// give up on the cell immediately but don't poison resume.
+		w.noteDispatch(false, c.cfg)
 		c.met.failed.Add(1)
 		cr := e.Cells[t.idx].Skeleton()
 		cr.Error = fmt.Sprintf("worker %s rejected cell: %v", w.url, res.err)
@@ -410,7 +453,13 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, e *sweep.Expanded
 
 	case dispatchFailure:
 		if ctx.Err() != nil {
-			return // shutdown, not a worker fault
+			w.releaseBreaker() // shutdown, not a worker fault
+			return
+		}
+		if w.noteDispatch(true, c.cfg) {
+			c.met.breakerOpens.Add(1)
+			c.logf("coord: worker %s circuit opened after %d consecutive dispatch faults (cooldown %s)",
+				w.url, c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
 		}
 		w.markUnhealthy(res.err)
 		c.logf("coord: worker %s failed cell %d (attempt %d/%d): %v",

@@ -26,6 +26,7 @@ type counters struct {
 	retried        atomic.Int64
 	reassigned     atomic.Int64
 	failed         atomic.Int64
+	breakerOpens   atomic.Int64
 }
 
 // Metrics is a snapshot of the coordinator's dispatch state.
@@ -42,6 +43,8 @@ type Metrics struct {
 	Retried    int64 `json:"cells_retried"`
 	Reassigned int64 `json:"cells_reassigned"`
 	Failed     int64 `json:"cells_failed"`
+	// BreakerOpens counts circuit-breaker opens across the fleet.
+	BreakerOpens int64 `json:"breaker_opens"`
 
 	Workers []WorkerMetrics `json:"workers"`
 }
@@ -57,6 +60,12 @@ type WorkerMetrics struct {
 	Dispatched int64 `json:"dispatched"`
 	Completed  int64 `json:"completed"`
 	Errors     int64 `json:"errors"`
+
+	// BreakerOpen reports an open circuit (dispatches suspended until
+	// the cooldown's half-open trial); BreakerOpens counts how often
+	// this worker's circuit has opened.
+	BreakerOpen  bool  `json:"breaker_open,omitempty"`
+	BreakerOpens int64 `json:"breaker_opens,omitempty"`
 
 	// LatencySum/LatencyCount accumulate per-dispatch wall time (seconds),
 	// Prometheus summary style: sum/count = mean dispatch latency.
@@ -76,6 +85,7 @@ func (c *Coordinator) MetricsSnapshot() Metrics {
 		Retried:        c.met.retried.Load(),
 		Reassigned:     c.met.reassigned.Load(),
 		Failed:         c.met.failed.Load(),
+		BreakerOpens:   c.met.breakerOpens.Load(),
 	}
 	for _, w := range c.workers {
 		w.mu.Lock()
@@ -94,6 +104,7 @@ func (c *Coordinator) MetricsSnapshot() Metrics {
 		wm.Errors = w.errors.Load()
 		wm.LatencySum = time.Duration(w.latencyNS.Load()).Seconds()
 		wm.LatencyCount = w.latencyN.Load()
+		wm.BreakerOpen, wm.BreakerOpens = w.breakerSnapshot()
 		out.Workers = append(out.Workers, wm)
 	}
 	return out
@@ -147,6 +158,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("muzzlecoord_cells_retried_total", "Dispatches retried after worker backpressure (429).", met.Retried)
 	counter("muzzlecoord_cells_reassigned_total", "Cells reassigned after a worker failure.", met.Reassigned)
 	counter("muzzlecoord_cells_failed_total", "Cells given up on after exhausting their attempt budget.", met.Failed)
+	counter("muzzlecoord_breaker_opens_total", "Per-worker circuit breaker opens across the fleet.", met.BreakerOpens)
 
 	perWorker := func(name, typ, help string, value func(WorkerMetrics) string) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
@@ -174,6 +186,10 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(wm WorkerMetrics) string { return fmt.Sprintf("%g", wm.LatencySum) })
 	perWorker("muzzlecoord_worker_latency_seconds_count", "counter", "Dispatches measured.",
 		func(wm WorkerMetrics) string { return fmt.Sprintf("%d", wm.LatencyCount) })
+	perWorker("muzzlecoord_worker_breaker_open", "gauge", "Circuit breaker position (1 = open, dispatches suspended).",
+		func(wm WorkerMetrics) string { return boolGauge(wm.BreakerOpen) })
+	perWorker("muzzlecoord_worker_breaker_opens_total", "counter", "Circuit breaker opens for the worker.",
+		func(wm WorkerMetrics) string { return fmt.Sprintf("%d", wm.BreakerOpens) })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

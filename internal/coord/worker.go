@@ -30,6 +30,19 @@ type worker struct {
 	advertised int // worker pool size from /healthz "workers"
 	lastErr    string
 
+	// Circuit-breaker state, guarded by mu. The breaker is layered under
+	// the probe-driven health bit: a worker can answer /healthz perfectly
+	// while its cell dispatches keep failing (a flaky route, a broken
+	// proxy), and the breaker is what stops the coordinator from burning
+	// the cell retry budget against it. Closed admits dispatches; open
+	// admits none until the cooldown elapses; half-open admits exactly
+	// one trial dispatch whose outcome closes or re-opens the circuit.
+	brk         breakerState
+	brkConsec   int       // consecutive dispatch failures
+	brkOpenedAt time.Time // when the circuit last opened
+	brkProbing  bool      // a half-open trial dispatch is in flight
+	brkOpens    int64     // cumulative opens, for metrics
+
 	inflight   atomic.Int64
 	dispatched atomic.Int64
 	completed  atomic.Int64
@@ -69,6 +82,87 @@ func (w *worker) Advertised() int {
 		return 2
 	}
 	return w.advertised
+}
+
+// breakerState is the per-worker circuit position.
+type breakerState int
+
+const (
+	brkClosed breakerState = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// acquireBreaker asks the circuit for permission to dispatch. Closed
+// always admits. Open admits nothing until the cooldown elapses, at
+// which point the circuit moves to half-open; half-open admits one
+// trial dispatch at a time (the caller holds the trial token until
+// noteDispatch or releaseBreaker). A non-positive threshold disables
+// the breaker.
+func (w *worker) acquireBreaker(cfg Config) bool {
+	if cfg.BreakerThreshold <= 0 {
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch w.brk {
+	case brkOpen:
+		if time.Since(w.brkOpenedAt) < cfg.BreakerCooldown {
+			return false
+		}
+		w.brk = brkHalfOpen
+		fallthrough
+	case brkHalfOpen:
+		if w.brkProbing {
+			return false
+		}
+		w.brkProbing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// releaseBreaker returns an acquired trial token without a dispatch
+// outcome (the run ended before a task arrived).
+func (w *worker) releaseBreaker() {
+	w.mu.Lock()
+	w.brkProbing = false
+	w.mu.Unlock()
+}
+
+// noteDispatch feeds one dispatch outcome to the circuit. Any contact
+// that got a classified answer out of the worker — success, 429
+// backpressure, even a 400 reject — counts as transport success and
+// closes the circuit; only dispatchFailure counts against it. Returns
+// true when this outcome opened the circuit.
+func (w *worker) noteDispatch(failed bool, cfg Config) (opened bool) {
+	if cfg.BreakerThreshold <= 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.brkProbing = false
+	if !failed {
+		w.brkConsec = 0
+		w.brk = brkClosed
+		return false
+	}
+	w.brkConsec++
+	if w.brk == brkHalfOpen || (w.brk == brkClosed && w.brkConsec >= cfg.BreakerThreshold) {
+		w.brk = brkOpen
+		w.brkOpenedAt = time.Now()
+		w.brkOpens++
+		return true
+	}
+	return false
+}
+
+// breakerSnapshot reports the circuit position for metrics.
+func (w *worker) breakerSnapshot() (open bool, opens int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.brk == brkOpen, w.brkOpens
 }
 
 // markUnhealthy takes the worker out of rotation until a probe revives it.

@@ -306,13 +306,7 @@ func compileAll(ctx context.Context, c *circuit.Circuit, opt Options, names []st
 		if err != nil {
 			return nil, fmt.Errorf("eval %s: %w", c.Name, err)
 		}
-		comp := factory()
-		var res *compiler.Result
-		if opt.Mapper != nil {
-			res, err = comp.CompileWithMapperContext(ctx, c, opt.Config, opt.Mapper)
-		} else {
-			res, err = comp.CompileContext(ctx, c, opt.Config)
-		}
+		res, err := compileOne(ctx, c, opt, factory())
 		if err != nil {
 			return nil, fmt.Errorf("eval %s: %s: %w", c.Name, name, err)
 		}
@@ -332,6 +326,22 @@ func compileAll(ctx context.Context, c *circuit.Circuit, opt Options, names []st
 		cachePut(opt.Cache, key, c, opt.Config, names, opt.Sim, r)
 	}
 	return r, nil
+}
+
+// compileOne invokes one compiler with panic containment: the harness
+// runs arbitrary registered policies, and a buggy one must fail its
+// circuit with a structured error instead of crashing the process (the
+// daemon serves many jobs; a sweep has many more cells).
+func compileOne(ctx context.Context, c *circuit.Circuit, opt Options, comp *compiler.Compiler) (res *compiler.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("compiler panicked: %v", p)
+		}
+	}()
+	if opt.Mapper != nil {
+		return comp.CompileWithMapperContext(ctx, c, opt.Config, opt.Mapper)
+	}
+	return comp.CompileContext(ctx, c, opt.Config)
 }
 
 // verifyCached replays a cache hit's outcomes through the verifier.

@@ -1,0 +1,329 @@
+// Package faults is a seeded, deterministic fault-injection harness for
+// the storage and transport stack. Production code never imports a fault
+// schedule: every hook site is guarded by a configured scope string that
+// is empty outside tests, and the package-level helpers are no-ops until
+// a test installs an Injector. The same seed therefore produces the same
+// fault decisions for the same sequence of operations on each scope,
+// which is what lets the chaos e2e assert byte-identical artifacts
+// against a fault-free run.
+//
+// The model: an Injector holds an ordered list of Rules. Each operation a
+// component is about to perform — a disk read, a WAL fsync, an HTTP
+// round trip — is announced as (scope, op). The first rule matching that
+// pair draws a deterministic pseudo-random number keyed by the rule, the
+// (scope, op) pair, and the pair's call ordinal, and decides whether to
+// inject. Ordinal-keyed draws make decisions independent of goroutine
+// interleaving *across* scopes: the Nth write on "w1.cache" faults (or
+// not) regardless of what "w2.cache" is doing.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Op classifies the operation a hook site is about to perform.
+type Op string
+
+// The hookable operations.
+const (
+	OpRead   Op = "read"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+	OpHTTP   Op = "http"
+)
+
+// Kind is the flavor of fault a rule injects.
+type Kind string
+
+// The injectable fault kinds. The filesystem kinds (Err, ENOSPC, Torn)
+// apply to OpRead/OpWrite/OpSync/OpRename/OpRemove; the transport kinds
+// (Latency, Reset, HTTP500) apply to OpHTTP via RoundTripper.
+const (
+	// KindErr injects a generic I/O error.
+	KindErr Kind = "error"
+	// KindENOSPC injects syscall.ENOSPC (errors.Is-able).
+	KindENOSPC Kind = "enospc"
+	// KindTorn truncates a write to TornFrac of its bytes and then
+	// fails it — the on-disk state is a partial frame, as after a crash
+	// mid-write. Only honored by sites that go through CheckWrite.
+	KindTorn Kind = "torn"
+	// KindLatency delays a transport round trip by Latency, then lets
+	// it proceed.
+	KindLatency Kind = "latency"
+	// KindReset fails a transport round trip with a connection-reset
+	// error before the request reaches the server.
+	KindReset Kind = "reset"
+	// KindHTTP500 lets the request through to the server but replaces
+	// the response with a synthesized 500, as from a crashing proxy.
+	KindHTTP500 Kind = "http500"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so hook
+// sites and tests can tell scheduled faults from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// Error is the structured error carried by an injected fault.
+type Error struct {
+	Scope string
+	Op    Op
+	Kind  Kind
+	// Seq is the (scope, op) call ordinal that faulted, 0-based.
+	Seq uint64
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("injected %s fault: %s/%s call %d", e.Kind, e.Scope, e.Op, e.Seq)
+}
+
+// Unwrap makes every injected error match ErrInjected, and ENOSPC
+// injections additionally match syscall.ENOSPC.
+func (e *Error) Unwrap() []error {
+	if e.Kind == KindENOSPC {
+		return []error{ErrInjected, syscall.ENOSPC}
+	}
+	return []error{ErrInjected}
+}
+
+// Rule schedules one class of faults. Fields left zero take the
+// documented defaults, so the minimal rule {Scope: "x", Op: OpWrite}
+// means "every write on scope x fails with a generic I/O error".
+type Rule struct {
+	// Scope selects which component stream the rule applies to; empty
+	// matches every scope.
+	Scope string
+	// Op selects the operation; empty matches every op.
+	Op Op
+	// Kind is the fault to inject (default KindErr).
+	Kind Kind
+	// Prob is the per-call fault probability in (0, 1]; 0 means 1
+	// (always fire on a matching call).
+	Prob float64
+	// After skips the first After matching calls before the rule may
+	// fire — the knob for "the disk goes bad partway through".
+	After int
+	// Count bounds the total faults this rule injects (0 = unlimited).
+	// Bounded rules make a chaos schedule finite: the run always
+	// completes once the budget is spent.
+	Count int
+	// Latency is the KindLatency delay.
+	Latency time.Duration
+	// TornFrac is the fraction of bytes a KindTorn write persists
+	// before failing (default 0.5).
+	TornFrac float64
+}
+
+// Decision is one resolved injection: the error to report plus the
+// kind-specific parameters the hook site needs to act it out.
+type Decision struct {
+	Kind     Kind
+	Err      error
+	Latency  time.Duration
+	TornFrac float64
+}
+
+// liveRule is a Rule plus its runtime counters. matched counts calls per
+// (scope, op) key — the ordinal feeding the deterministic draw — while
+// fired is the rule's global budget spend.
+type liveRule struct {
+	Rule
+	matched map[string]uint64
+	fired   int
+}
+
+// Injector holds a fault schedule. The zero value and the nil pointer
+// are inert: every Check passes.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	rules []*liveRule
+	seq   map[string]uint64 // per (scope, op) call ordinal
+	fired map[string]uint64 // per (scope, op) injected-fault count
+	total uint64
+}
+
+// New builds an Injector from a seed and a schedule. The seed fully
+// determines which calls fault for a fixed per-scope call sequence.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		seed:  splitmix64(uint64(seed)),
+		seq:   make(map[string]uint64),
+		fired: make(map[string]uint64),
+	}
+	for _, r := range rules {
+		if r.Kind == "" {
+			r.Kind = KindErr
+		}
+		if r.Prob <= 0 || r.Prob > 1 {
+			r.Prob = 1
+		}
+		if r.TornFrac <= 0 || r.TornFrac >= 1 {
+			r.TornFrac = 0.5
+		}
+		in.rules = append(in.rules, &liveRule{Rule: r, matched: make(map[string]uint64)})
+	}
+	return in
+}
+
+// Check announces one operation and returns the injected error, or nil
+// to proceed. Torn-write rules degrade to a plain error here; writers
+// that can act out a partial write use CheckWrite instead.
+func (in *Injector) Check(scope string, op Op) error {
+	d, ok := in.Decide(scope, op)
+	if !ok {
+		return nil
+	}
+	return d.Err
+}
+
+// CheckWrite announces a write of data and returns the bytes to actually
+// persist plus the error to report. Without a fault it returns (data,
+// nil); a torn-write fault returns a strict prefix and an error; other
+// faults return (nil, err) — nothing reaches the disk.
+func (in *Injector) CheckWrite(scope string, data []byte) ([]byte, error) {
+	d, ok := in.Decide(scope, OpWrite)
+	if !ok {
+		return data, nil
+	}
+	if d.Kind == KindTorn {
+		n := int(float64(len(data)) * d.TornFrac)
+		if n >= len(data) {
+			n = len(data) - 1
+		}
+		if n < 0 {
+			n = 0
+		}
+		return data[:n], d.Err
+	}
+	return nil, d.Err
+}
+
+// Decide resolves one operation against the schedule: the full Decision
+// and true when a fault fires, false to proceed normally. Nil-receiver
+// safe.
+func (in *Injector) Decide(scope string, op Op) (Decision, bool) {
+	if in == nil {
+		return Decision{}, false
+	}
+	key := scope + "/" + string(op)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seq := in.seq[key]
+	in.seq[key] = seq + 1
+	for i, r := range in.rules {
+		if r.Scope != "" && r.Scope != scope {
+			continue
+		}
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		n := r.matched[key]
+		r.matched[key] = n + 1
+		if int(n) < r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob < 1 && in.draw(uint64(i), key, n) >= r.Prob {
+			continue
+		}
+		r.fired++
+		in.fired[key]++
+		in.total++
+		d := Decision{
+			Kind:     r.Kind,
+			Err:      &Error{Scope: scope, Op: op, Kind: r.Kind, Seq: seq},
+			Latency:  r.Latency,
+			TornFrac: r.TornFrac,
+		}
+		return d, true
+	}
+	return Decision{}, false
+}
+
+// draw is the deterministic per-(rule, key, ordinal) uniform draw in
+// [0, 1). Keying by the matched ordinal rather than a shared RNG stream
+// keeps each scope's schedule independent of cross-scope interleaving.
+func (in *Injector) draw(rule uint64, key string, n uint64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := splitmix64(in.seed ^ (rule+1)*0x9E3779B97F4A7C15 ^ h.Sum64() ^ (n + 1))
+	return float64(x>>11) / (1 << 53)
+}
+
+// Total returns how many faults the injector has fired.
+func (in *Injector) Total() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// Fired returns a copy of the per-(scope/op) injected-fault counts.
+func (in *Injector) Fired() map[string]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// splitmix64 is the SplitMix64 mixer — tiny, seedable, and good enough
+// to decorrelate rule/key/ordinal tuples.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// active is the process-global injector consulted by the package-level
+// hooks. Components never hold an Injector; they hold a scope string
+// (empty in production) and announce operations through these helpers,
+// which are inert until a test Installs a schedule.
+var active atomic.Pointer[Injector]
+
+// Install sets the process-global injector and returns a restore
+// function for defer. Tests that Install must not run in parallel with
+// other fault-scoped tests in the same binary.
+func Install(in *Injector) (restore func()) {
+	prev := active.Swap(in)
+	return func() { active.Store(prev) }
+}
+
+// Active returns the installed injector, or nil.
+func Active() *Injector { return active.Load() }
+
+// Check is Injector.Check against the installed injector. A hook site
+// with an empty scope is disabled and pays only this comparison.
+func Check(scope string, op Op) error {
+	if scope == "" {
+		return nil
+	}
+	return Active().Check(scope, op)
+}
+
+// CheckWrite is Injector.CheckWrite against the installed injector.
+func CheckWrite(scope string, data []byte) ([]byte, error) {
+	if scope == "" {
+		return data, nil
+	}
+	return Active().CheckWrite(scope, data)
+}

@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule pins the core property: the same seed and
+// the same per-scope call sequence produce the same fault decisions,
+// and a different seed produces a different (but equally deterministic)
+// schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed, Rule{Scope: "s", Op: OpWrite, Prob: 0.3})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, in.Check("s", OpWrite) != nil)
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	var faults int
+	for _, f := range a {
+		if f {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("prob 0.3 schedule fired %d/%d times", faults, len(a))
+	}
+}
+
+// TestScheduleIndependentOfOtherScopes pins that interleaving calls on
+// an unrelated scope does not perturb a scope's schedule — the property
+// that makes concurrent chaos runs reproducible per component.
+func TestScheduleIndependentOfOtherScopes(t *testing.T) {
+	run := func(noise bool) []bool {
+		in := New(21,
+			Rule{Scope: "a", Op: OpWrite, Prob: 0.5},
+			Rule{Scope: "b", Op: OpWrite, Prob: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			if noise {
+				in.Check("b", OpWrite)
+				in.Check("b", OpWrite)
+			}
+			out = append(out, in.Check("a", OpWrite) != nil)
+		}
+		return out
+	}
+	quiet, noisy := run(false), run(true)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("scope a's schedule changed at call %d when scope b was active", i)
+		}
+	}
+}
+
+func TestRuleMatchingAndBudget(t *testing.T) {
+	in := New(1,
+		Rule{Scope: "s", Op: OpSync, After: 2, Count: 3},
+	)
+	// Other scopes and ops pass.
+	if err := in.Check("other", OpSync); err != nil {
+		t.Fatalf("unmatched scope faulted: %v", err)
+	}
+	if err := in.Check("s", OpWrite); err != nil {
+		t.Fatalf("unmatched op faulted: %v", err)
+	}
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, in.Check("s", OpSync) != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: fault=%v, want %v (After=2 Count=3)", i, got[i], want[i])
+		}
+	}
+	if in.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", in.Total())
+	}
+	if n := in.Fired()["s/sync"]; n != 3 {
+		t.Fatalf(`Fired["s/sync"] = %d, want 3`, n)
+	}
+}
+
+func TestErrorKindsAndSentinels(t *testing.T) {
+	in := New(3,
+		Rule{Scope: "nospace", Kind: KindENOSPC},
+		Rule{Scope: "plain"},
+	)
+	err := in.Check("nospace", OpWrite)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC injection = %v; want ErrInjected and syscall.ENOSPC", err)
+	}
+	err = in.Check("plain", OpWrite)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("plain injection = %v; want ErrInjected", err)
+	}
+	if errors.Is(err, syscall.ENOSPC) {
+		t.Fatal("plain injection must not match ENOSPC")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Scope != "plain" || fe.Op != OpWrite {
+		t.Fatalf("structured error = %+v", fe)
+	}
+}
+
+func TestCheckWriteTorn(t *testing.T) {
+	in := New(5, Rule{Scope: "wal", Kind: KindTorn, TornFrac: 0.25})
+	data := make([]byte, 100)
+	kept, err := in.CheckWrite("wal", data)
+	if err == nil {
+		t.Fatal("torn write did not fail")
+	}
+	if len(kept) != 25 {
+		t.Fatalf("torn write kept %d bytes, want 25", len(kept))
+	}
+	// Non-torn error kinds keep nothing.
+	in2 := New(5, Rule{Scope: "wal"})
+	kept, err = in2.CheckWrite("wal", data)
+	if err == nil || kept != nil {
+		t.Fatalf("error write kept %d bytes, err %v", len(kept), err)
+	}
+	// No fault passes the data through untouched.
+	in3 := New(5)
+	kept, err = in3.CheckWrite("wal", data)
+	if err != nil || len(kept) != len(data) {
+		t.Fatalf("clean write: kept %d, err %v", len(kept), err)
+	}
+}
+
+func TestNilAndUninstalledAreInert(t *testing.T) {
+	var in *Injector
+	if err := in.Check("s", OpWrite); err != nil {
+		t.Fatal("nil injector faulted")
+	}
+	if in.Total() != 0 || in.Fired() != nil {
+		t.Fatal("nil injector has stats")
+	}
+	if err := Check("s", OpWrite); err != nil {
+		t.Fatal("uninstalled global faulted")
+	}
+	if err := Check("", OpWrite); err != nil {
+		t.Fatal("empty scope faulted")
+	}
+}
+
+func TestInstallRestore(t *testing.T) {
+	in := New(9, Rule{Scope: "s"})
+	restore := Install(in)
+	if err := Check("s", OpWrite); !errors.Is(err, ErrInjected) {
+		t.Fatalf("installed injector inert: %v", err)
+	}
+	restore()
+	if err := Check("s", OpWrite); err != nil {
+		t.Fatalf("restore left injector active: %v", err)
+	}
+}
+
+// TestRoundTripper drives all three transport fault kinds against a real
+// server.
+func TestRoundTripper(t *testing.T) {
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	in := New(11,
+		Rule{Scope: "tx", Op: OpHTTP, Kind: KindReset, Count: 1},
+		Rule{Scope: "tx", Op: OpHTTP, Kind: KindHTTP500, Count: 1},
+		Rule{Scope: "tx", Op: OpHTTP, Kind: KindLatency, Latency: 5 * time.Millisecond, Count: 1},
+	)
+	defer Install(in)()
+	client := &http.Client{Transport: RoundTripper("tx", nil)}
+
+	// Call 1: reset — the server never sees it.
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 1: err = %v, want injected reset", err)
+	}
+	if served != 0 {
+		t.Fatalf("reset reached the server (%d serves)", served)
+	}
+	// Call 2: synthesized 500 — the server DID the work.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || served != 1 {
+		t.Fatalf("call 2: status %d, serves %d; want 500 after a real serve", resp.StatusCode, served)
+	}
+	// Call 3: latency, then success.
+	start := time.Now()
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" || time.Since(start) < 5*time.Millisecond {
+		t.Fatalf("call 3: body %q after %s", body, time.Since(start))
+	}
+	// Budget spent: call 4 is clean.
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("call 4: status %d after budget spent", resp.StatusCode)
+	}
+	if in.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", in.Total())
+	}
+}
+
+// TestEmptyScopeRoundTripper pins that the production path (no scope)
+// returns the base transport untouched.
+func TestEmptyScopeRoundTripper(t *testing.T) {
+	base := http.DefaultTransport
+	if rt := RoundTripper("", base); rt != base {
+		t.Fatal("empty scope must return base unchanged")
+	}
+}

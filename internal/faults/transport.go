@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// transport is the fault-injecting http.RoundTripper. It consults the
+// process-global injector on every round trip, so one wrapped client
+// serves both fault-free production use (no injector installed) and a
+// chaos run (schedule installed for the test's duration).
+type transport struct {
+	scope string
+	base  http.RoundTripper
+}
+
+// RoundTripper wraps base with transport fault injection under scope.
+// An empty scope returns base unchanged. The injected faults mirror the
+// real failure classes a coordinator sees: added latency (slow network),
+// connection reset before the request reaches the server (the request
+// may safely be retried), and a synthesized 500 *after* the server did
+// the work (the reply is lost — the dangerous half-done case).
+func RoundTripper(scope string, base http.RoundTripper) http.RoundTripper {
+	if scope == "" {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{scope: scope, base: base}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d, ok := Active().Decide(t.scope, OpHTTP)
+	if !ok {
+		return t.base.RoundTrip(req)
+	}
+	switch d.Kind {
+	case KindLatency:
+		timer := time.NewTimer(d.Latency)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+	case KindHTTP500:
+		// The server really executes the request; only the reply is
+		// replaced. This is the "work done, answer lost" failure that
+		// retry/reassign logic and idempotent cells must absorb.
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         resp.Proto,
+			ProtoMajor:    resp.ProtoMajor,
+			ProtoMinor:    resp.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader("injected fault\n")),
+			ContentLength: int64(len("injected fault\n")),
+			Request:       req,
+		}, nil
+	default: // KindReset and any filesystem kind scheduled on OpHTTP
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, d.Err
+	}
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A panicking handler must answer a structured 500 (and count on
+// /metrics), while http.ErrAbortHandler — the documented deliberate
+// abort — passes through untouched.
+func TestRecoverwareContainsPanics(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	h := m.recoverware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("500 body is not the structured apiError: %v", err)
+	}
+	if body.Code != "panic" || !strings.Contains(body.Error, "handler bug") {
+		t.Fatalf("apiError = %+v, want code=panic carrying the panic text", body)
+	}
+	if got := m.MetricsSnapshot().PanicsRecovered; got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+
+	abort := m.recoverware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if p := recover(); p != http.ErrAbortHandler {
+			t.Fatalf("ErrAbortHandler was swallowed; recovered %v", p)
+		}
+		if got := m.MetricsSnapshot().PanicsRecovered; got != 1 {
+			t.Fatalf("deliberate abort counted as a recovered panic (%d)", got)
+		}
+	}()
+	abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+}
+
+// A job that panics mid-run finishes failed with the panic text; the
+// worker — and the daemon — survive to run the next job.
+func TestJobPanicFailsJobNotWorker(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+
+	// A poisoned cell job (nil expansion, as a corrupt recovery record
+	// could produce) panics inside runCellJob.
+	j := newJob()
+	j.source = SourceCell
+	m.mu.Lock()
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	m.run(j) // must not propagate the panic
+
+	got, err := m.Get(j.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed || !strings.Contains(got.Error, "internal panic") {
+		t.Fatalf("job = %s %q, want failed with the contained panic", got.State, got.Error)
+	}
+	if n := m.MetricsSnapshot().PanicsRecovered; n != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", n)
+	}
+
+	// The manager survives: a well-formed job still runs to done.
+	ok, err := m.Submit(Request{QASM: trivialQASM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v, err := m.Get(ok.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State.Terminal() {
+			if v.State != StateDone {
+				t.Fatalf("follow-up job = %s %q, want done", v.State, v.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follow-up job stuck in %s", v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+const trivialQASM = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+cx q[0], q[1];
+`
+
+// The /healthz degraded block reflects component state without ever
+// flipping the status away from "ok" — a degraded worker still serves,
+// and the coordinator must keep dispatching to it.
+func TestHealthzDegradedBlock(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	get := func() (status string, degraded map[string]bool) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Status   string          `json:"status"`
+			Degraded map[string]bool `json:"degraded"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Status, body.Degraded
+	}
+
+	status, deg := get()
+	if status != "ok" {
+		t.Fatalf("status = %q, want ok", status)
+	}
+	if len(deg) == 0 || deg["journal"] || deg["cache_disk"] {
+		t.Fatalf("fresh daemon degraded block = %v, want all-false components", deg)
+	}
+
+	m.noteStoreError()
+	status, deg = get()
+	if status != "ok" {
+		t.Fatalf("status after journal error = %q; degradation must not change it", status)
+	}
+	if !deg["journal"] {
+		t.Fatalf("degraded block %v does not flag the journal", deg)
+	}
+}

@@ -41,7 +41,34 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/compilers", m.handleCompilers)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
-	return mux
+	return m.recoverware(mux)
+}
+
+// recoverware contains handler panics: a panicking handler answers a
+// structured 500 instead of killing the connection with an empty reply,
+// and the panic is counted on /metrics. http.ErrAbortHandler is the
+// documented way to abort a response on purpose and is re-raised
+// untouched — net/http suppresses its stack trace, and tests rely on it
+// to simulate a worker dying mid-reply.
+func (m *Manager) recoverware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(p)
+			}
+			m.notePanic()
+			// If the handler already wrote headers this lands in the body
+			// of a broken reply, which is no worse than the bare abort the
+			// panic would have caused.
+			writeError(w, http.StatusInternalServerError, "panic",
+				fmt.Errorf("service: handler panicked: %v", p))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // apiError is the JSON error body: a stable code plus a human message.
@@ -257,6 +284,10 @@ func (m *Manager) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if met.Draining {
 		status = "draining"
 	}
+	// Degraded components do not change the status: a daemon serving from
+	// memory only (or skipping journal writes) still completes every
+	// request, and a coordinator must keep dispatching to it. The block
+	// tells operators what reduced mode, if any, the daemon is in.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         status,
 		"uptime_seconds": met.UptimeSeconds,
@@ -264,6 +295,7 @@ func (m *Manager) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"jobs_submitted": met.JobsSubmitted,
 		"queue_depth":    met.QueueDepth,
 		"queue_capacity": met.QueueCapacity,
+		"degraded":       met.Degraded(),
 		"worker":         m.WorkerInfo(),
 	})
 }
@@ -308,6 +340,21 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		draining = 1
 	}
 	fmt.Fprintf(&b, "muzzled_draining %d\n", draining)
+
+	b.WriteString("# HELP muzzled_degraded Per-component degraded state (1 = operating in reduced mode, still serving).\n")
+	b.WriteString("# TYPE muzzled_degraded gauge\n")
+	deg := met.Degraded()
+	for _, comp := range []string{"cache_disk", "journal"} {
+		v := 0
+		if deg[comp] {
+			v = 1
+		}
+		fmt.Fprintf(&b, "muzzled_degraded{component=%q} %d\n", comp, v)
+	}
+
+	b.WriteString("# HELP muzzled_panics_recovered_total Panics contained by the HTTP layer and job workers.\n")
+	b.WriteString("# TYPE muzzled_panics_recovered_total counter\n")
+	fmt.Fprintf(&b, "muzzled_panics_recovered_total %d\n", met.PanicsRecovered)
 
 	if met.Flight != nil {
 		b.WriteString("# HELP muzzled_flight_executions_total Evaluations that ran as a single-flight leader.\n")
@@ -370,6 +417,12 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		b.WriteString("# HELP muzzled_cache_disk_evictions_total Disk-tier files deleted by the size bound.\n")
 		b.WriteString("# TYPE muzzled_cache_disk_evictions_total counter\n")
 		fmt.Fprintf(&b, "muzzled_cache_disk_evictions_total %d\n", met.Cache.DiskEvictions)
+		b.WriteString("# HELP muzzled_cache_disk_errors_total Disk-tier read/write/sweep I/O failures (served from memory instead).\n")
+		b.WriteString("# TYPE muzzled_cache_disk_errors_total counter\n")
+		fmt.Fprintf(&b, "muzzled_cache_disk_errors_total %d\n", met.Cache.DiskErrors)
+		b.WriteString("# HELP muzzled_cache_disk_trips_total Times the disk tier tripped to memory-only after consecutive I/O errors.\n")
+		b.WriteString("# TYPE muzzled_cache_disk_trips_total counter\n")
+		fmt.Fprintf(&b, "muzzled_cache_disk_trips_total %d\n", met.Cache.DiskTrips)
 	}
 
 	h := met.CompileLatency

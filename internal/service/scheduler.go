@@ -224,8 +224,18 @@ func (m *Manager) view(j *job) JobView {
 	}
 }
 
-// run executes one dequeued job on the calling worker.
+// run executes one dequeued job on the calling worker. Panics are
+// contained here so one poisoned job fails with a structured error
+// instead of taking the worker goroutine — and the daemon — down with
+// it; finish is idempotent, so containment never double-terminates a
+// job that panicked after reaching a terminal state.
 func (m *Manager) run(j *job) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.notePanic()
+			m.finish(j, StateFailed, fmt.Sprintf("internal panic: %v", p))
+		}
+	}()
 	if m.drainMode() {
 		// Graceful drain: never-started jobs stay pending — in memory for
 		// the remaining lifetime of this process, and in the journal for

@@ -106,6 +106,7 @@ type Manager struct {
 	rejected  uint64
 	recovered uint64
 	storeErrs uint64
+	panics    uint64
 
 	// Expansion cache for POST /v1/cells: one coordinator sends many
 	// cells of the same grid, each carrying the full grid JSON.
@@ -286,7 +287,28 @@ type Metrics struct {
 	Flight            *muzzle.FlightStats `json:"flight,omitempty"`
 	Store             *store.Stats        `json:"store,omitempty"`
 	StoreErrors       uint64              `json:"store_errors"`
-	CompileLatency    HistogramSnapshot   `json:"compile_latency_seconds"`
+	// PanicsRecovered counts panics contained by the HTTP layer and the
+	// job workers — each one is a bug, but a structured 500 or a failed
+	// job instead of a dead daemon.
+	PanicsRecovered uint64            `json:"panics_recovered"`
+	CompileLatency  HistogramSnapshot `json:"compile_latency_seconds"`
+}
+
+// Degraded reports the per-component degraded states the daemon exposes
+// on /healthz: a component is degraded when it is operating in a reduced
+// mode (serving from memory only, skipping journal writes) rather than
+// failing requests. The map is stable: every known component is always
+// present.
+func (met Metrics) Degraded() map[string]bool {
+	return map[string]bool{
+		// cache_disk: the disk tier tripped after consecutive I/O errors
+		// and the cache is serving memory-only until a re-probe succeeds.
+		"cache_disk": met.Cache != nil && met.Cache.DiskTripped,
+		// journal: at least one append/compact failed this process, so
+		// recovery fidelity is reduced (jobs replay from their last
+		// durable state).
+		"journal": met.StoreErrors > 0,
+	}
 }
 
 // MetricsSnapshot collects the current counters.
@@ -307,6 +329,7 @@ func (m *Manager) MetricsSnapshot() Metrics {
 	out.JobsRecovered = m.recovered
 	out.AdmissionRejected = m.rejected
 	out.StoreErrors = m.storeErrs
+	out.PanicsRecovered = m.panics
 	jobs := make([]*job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
@@ -339,5 +362,12 @@ func (m *Manager) MetricsSnapshot() Metrics {
 func (m *Manager) noteStoreError() {
 	m.mu.Lock()
 	m.storeErrs++
+	m.mu.Unlock()
+}
+
+// notePanic counts a recovered panic (HTTP handler or job worker).
+func (m *Manager) notePanic() {
+	m.mu.Lock()
+	m.panics++
 	m.mu.Unlock()
 }

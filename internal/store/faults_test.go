@@ -1,0 +1,182 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"muzzle/internal/faults"
+)
+
+// walFrameOffsets parses wal.log and returns the byte offset of each
+// frame, trusting only the length prefixes (the test corrupts payloads,
+// not lengths).
+func walFrameOffsets(t *testing.T, wal string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for off := int64(0); off < int64(len(data)); {
+		offs = append(offs, off)
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		off += int64(8 + n)
+	}
+	return offs
+}
+
+// TestMidFileCorruptionStopsAtLastValidRecord pins replay behavior under
+// corruption that is NOT a torn tail: a flipped byte in a middle frame.
+// Recovery must stop at the last record before the corruption — the
+// frames after it are unreachable because framing gives no resync point —
+// and account for every discarded byte.
+func TestMidFileCorruptionStopsAtLastValidRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 5
+	for i := 0; i < total; i++ {
+		mustAppend(t, j, Record{Kind: "submit", JobID: fmt.Sprintf("job-%d", i),
+			Source: "qasm", State: "pending"})
+	}
+	// No Close: a compaction would fold the WAL into the snapshot.
+
+	wal := filepath.Join(dir, "wal.log")
+	offs := walFrameOffsets(t, wal)
+	if len(offs) != total {
+		t.Fatalf("parsed %d frames, want %d", len(offs), total)
+	}
+	const corruptAt = 2 // a middle frame: records 0 and 1 stay valid
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(data))
+	data[offs[corruptAt]+8] ^= 0xFF // flip a payload byte under the CRC
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen over corrupt WAL: %v", err)
+	}
+	defer j2.Close()
+	jobs := j2.Jobs()
+	if len(jobs) != corruptAt {
+		t.Fatalf("replayed %d jobs, want %d (stop at last valid record)", len(jobs), corruptAt)
+	}
+	for i, js := range jobs {
+		if want := fmt.Sprintf("job-%d", i); js.ID != want {
+			t.Fatalf("job %d = %s, want %s", i, js.ID, want)
+		}
+	}
+	s := j2.Stats()
+	if want := size - offs[corruptAt]; s.TruncatedBytes != want {
+		t.Fatalf("TruncatedBytes = %d, want %d (file %d - offset %d)",
+			s.TruncatedBytes, want, size, offs[corruptAt])
+	}
+	if s.Replayed != corruptAt {
+		t.Fatalf("Replayed = %d, want %d", s.Replayed, corruptAt)
+	}
+	// The truncated WAL is live: new appends land at the cut point and
+	// survive another replay.
+	mustAppend(t, j2, Record{Kind: "state", JobID: "job-0", State: "running"})
+	if fi, err := os.Stat(wal); err != nil || fi.Size() <= offs[corruptAt] {
+		t.Fatalf("append after truncation: size %v, err %v", fi.Size(), err)
+	}
+}
+
+// TestTornAppendIsRepaired pins the WAL self-repair: an injected torn
+// write fails the append AND leaves a partial frame on disk, but the
+// journal truncates back to the last good frame so later appends remain
+// replayable — without the repair they would all be lost behind the torn
+// frame.
+func TestTornAppendIsRepaired(t *testing.T) {
+	inj := faults.New(13, faults.Rule{
+		Scope: "test.wal", Kind: faults.KindTorn, After: 2, Count: 1,
+	})
+	defer faults.Install(inj)()
+
+	dir := t.TempDir()
+	j, err := Open(dir, Options{FaultScope: "test.wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		mustAppend(t, j, Record{Kind: "submit", JobID: fmt.Sprintf("pre-%d", i), State: "pending"})
+	}
+	err = j.Append(Record{Kind: "submit", JobID: "torn", State: "pending"})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("torn append err = %v, want injected", err)
+	}
+	for i := 0; i < 2; i++ {
+		mustAppend(t, j, Record{Kind: "submit", JobID: fmt.Sprintf("post-%d", i), State: "pending"})
+	}
+	// Crash-reopen: all four acknowledged records replay; the torn one is
+	// gone without trace.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	jobs := j2.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("replayed %d jobs, want 4", len(jobs))
+	}
+	want := []string{"pre-0", "pre-1", "post-0", "post-1"}
+	for i, js := range jobs {
+		if js.ID != want[i] {
+			t.Fatalf("job %d = %s, want %s", i, js.ID, want[i])
+		}
+	}
+	if s := j2.Stats(); s.TruncatedBytes != 0 {
+		t.Fatalf("repair left %d torn bytes for reopen to find", s.TruncatedBytes)
+	}
+}
+
+// TestInjectedENOSPCAndFsyncFailures drives the remaining WAL fault
+// kinds: a full disk and a failed fsync each fail that one append and
+// leave the journal consistent.
+func TestInjectedENOSPCAndFsyncFailures(t *testing.T) {
+	inj := faults.New(17,
+		faults.Rule{Scope: "test.wal2", Op: faults.OpWrite, Kind: faults.KindENOSPC, After: 1, Count: 1},
+		faults.Rule{Scope: "test.wal2", Op: faults.OpSync, After: 1, Count: 1},
+	)
+	defer faults.Install(inj)()
+
+	dir := t.TempDir()
+	j, err := Open(dir, Options{FaultScope: "test.wal2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Kind: "submit", JobID: "a", State: "pending"})
+	// Append 2: ENOSPC on write.
+	err = j.Append(Record{Kind: "submit", JobID: "nospace", State: "pending"})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	// Append 3 announces write (clean) then sync (faulted).
+	err = j.Append(Record{Kind: "submit", JobID: "nosync", State: "pending"})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected fsync failure", err)
+	}
+	mustAppend(t, j, Record{Kind: "submit", JobID: "b", State: "pending"})
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	jobs := j2.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != "a" || jobs[1].ID != "b" {
+		t.Fatalf("replayed %+v, want exactly a and b", jobs)
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"muzzle/internal/faults"
 )
 
 // ErrClosed is returned by operations on a closed journal.
@@ -102,6 +104,10 @@ type Options struct {
 	// Retention bounds how many terminal jobs survive a compaction, oldest
 	// evicted first (0 = 1024). Non-terminal jobs are never evicted.
 	Retention int
+	// FaultScope, when non-empty, subjects the journal's writes, fsyncs,
+	// and renames to the process-global fault injector (internal/faults)
+	// under this scope. Tests only; empty in production.
+	FaultScope string
 }
 
 func (o Options) compactEvery() int {
@@ -320,20 +326,15 @@ func (j *Journal) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("store: encode record: %w", err)
 	}
-	var header [8]byte
-	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
-	if _, err := j.f.Write(header[:]); err != nil {
-		return fmt.Errorf("store: append: %w", err)
-	}
-	if _, err := j.f.Write(payload); err != nil {
-		return fmt.Errorf("store: append: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("store: fsync: %w", err)
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if err := j.writeFrameLocked(frame); err != nil {
+		return err
 	}
 	j.stats.Appends++
-	j.stats.WALBytes += int64(8 + len(payload))
+	j.stats.WALBytes += int64(len(frame))
 	j.apply(&rec)
 	j.sinceCompact++
 	if j.sinceCompact >= j.opts.compactEvery() {
@@ -342,6 +343,40 @@ func (j *Journal) Append(rec Record) error {
 		}
 	}
 	return nil
+}
+
+// writeFrameLocked appends one framed record and fsyncs it. On any
+// failure — a short or failed write, a failed fsync — it truncates the
+// WAL back to the last acknowledged frame boundary before reporting the
+// error: without the repair, a torn frame left mid-file would end replay
+// there and silently discard every record acknowledged after it.
+func (j *Journal) writeFrameLocked(frame []byte) error {
+	data, err := faults.CheckWrite(j.opts.FaultScope, frame)
+	if err == nil {
+		if _, werr := j.f.Write(data); werr != nil {
+			err = werr
+		} else if serr := faults.Check(j.opts.FaultScope, faults.OpSync); serr != nil {
+			err = serr
+		} else if serr := j.f.Sync(); serr != nil {
+			err = serr
+		}
+	} else if len(data) > 0 {
+		// Injected torn write: leave the partial frame on disk the way a
+		// crash would, then let the repair path clean it up.
+		j.f.Write(data) //nolint:errcheck
+	}
+	if err == nil {
+		return nil
+	}
+	if terr := j.f.Truncate(j.stats.WALBytes); terr != nil {
+		// The WAL now ends in a torn frame the next Open will truncate;
+		// records appended by this process after this point would be lost
+		// to replay, so poison the journal rather than append past it.
+		j.closed = true
+		j.f.Close() //nolint:errcheck
+		return fmt.Errorf("store: append failed (%v) and WAL repair failed: %w", err, terr)
+	}
+	return fmt.Errorf("store: append: %w", err)
 }
 
 // Jobs returns the replayed job table in submission order. The returned
@@ -407,6 +442,9 @@ func (j *Journal) compactLocked() error {
 		return fmt.Errorf("store: encode snapshot: %w", err)
 	}
 	tmp := j.snapshotPath() + ".tmp"
+	if err := faults.Check(j.opts.FaultScope, faults.OpWrite); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
 	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: write snapshot: %w", err)
@@ -421,6 +459,10 @@ func (j *Journal) compactLocked() error {
 	}
 	if err := tf.Close(); err != nil {
 		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := faults.Check(j.opts.FaultScope, faults.OpRename); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("store: publish snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, j.snapshotPath()); err != nil {
 		return fmt.Errorf("store: publish snapshot: %w", err)

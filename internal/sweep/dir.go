@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"muzzle/internal/faults"
 )
 
 // Dir is the resume state of a sweep artifact directory: the manifest, the
@@ -26,10 +28,20 @@ type Dir struct {
 	dir string
 	e   *Expanded
 
-	mu        sync.Mutex
-	m         manifest
-	done      map[int]bool
-	preloaded map[int]CellReport
+	mu         sync.Mutex
+	m          manifest
+	done       map[int]bool
+	preloaded  map[int]CellReport
+	faultScope string
+}
+
+// SetFaultScope subjects the directory's writes to the process-global
+// fault injector (internal/faults) under the given scope. Tests only;
+// the scope is empty in production.
+func (d *Dir) SetFaultScope(scope string) {
+	d.mu.Lock()
+	d.faultScope = scope
+	d.mu.Unlock()
 }
 
 // OpenDir binds an expanded grid to an artifact directory, creating it if
@@ -122,7 +134,7 @@ func (d *Dir) Persist(cr CellReport) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := writeFileAtomic(cellPath(d.dir, cr.Index), append(data, '\n')); err != nil {
+	if err := writeFileAtomic(d.faultScope, cellPath(d.dir, cr.Index), append(data, '\n')); err != nil {
 		return err
 	}
 	d.done[cr.Index] = true
@@ -140,7 +152,7 @@ func (d *Dir) writeManifestLocked() error {
 	if err != nil {
 		return fmt.Errorf("sweep: encode manifest: %w", err)
 	}
-	return writeFileAtomic(filepath.Join(d.dir, manifestFile), append(data, '\n'))
+	return writeFileAtomic(d.faultScope, filepath.Join(d.dir, manifestFile), append(data, '\n'))
 }
 
 // WriteReports writes the aggregated report.json and report.csv artifacts.
@@ -154,10 +166,10 @@ func (d *Dir) WriteReports(rep *Report) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := writeFileAtomic(filepath.Join(d.dir, reportFile), jbuf.b); err != nil {
+	if err := writeFileAtomic(d.faultScope, filepath.Join(d.dir, reportFile), jbuf.b); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(d.dir, reportCSV), cbuf.b)
+	return writeFileAtomic(d.faultScope, filepath.Join(d.dir, reportCSV), cbuf.b)
 }
 
 // bytesBuffer is a minimal io.Writer over a byte slice (avoids pulling in
@@ -173,15 +185,30 @@ func (w *bytesBuffer) Write(p []byte) (int, error) {
 // same directory, fsyncs it, then renames it into place. The unique name
 // keeps concurrent writers (two processes resuming the same directory) from
 // trampling each other's temp files, and the fsync-before-rename ensures a
-// crash can never surface a torn file at the final path.
-func writeFileAtomic(path string, data []byte) error {
+// crash can never surface a torn file at the final path. A non-empty
+// faultScope announces the write, fsync, and rename to the fault injector;
+// a torn-write fault leaves a partial temp file, which the deferred Remove
+// cleans up — the final path is never affected, even under injection.
+func writeFileAtomic(faultScope, path string, data []byte) error {
 	dir, base := filepath.Split(path)
+	data, injErr := faults.CheckWrite(faultScope, data)
+	if injErr != nil && len(data) == 0 {
+		return injErr
+	}
 	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if injErr != nil { // injected torn write: the partial temp file dies here
+		tmp.Close()
+		return injErr
+	}
+	if err := faults.Check(faultScope, faults.OpSync); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -193,6 +220,9 @@ func writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	if err := faults.Check(faultScope, faults.OpRename); err != nil {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)

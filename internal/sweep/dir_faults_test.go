@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"muzzle/internal/faults"
+)
+
+// TestPersistUnderInjectedFaults drives Dir.Persist through every write
+// fault kind and pins the atomicity contract: a faulted Persist reports
+// its error, leaves no torn artifact at any final path, and the next
+// clean Persist of the same cell fully recovers the directory.
+func TestPersistUnderInjectedFaults(t *testing.T) {
+	e, err := Expand(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []faults.Kind{faults.KindErr, faults.KindENOSPC, faults.KindTorn}
+	ops := []faults.Op{faults.OpWrite, faults.OpSync, faults.OpRename}
+	for _, kind := range kinds {
+		for _, op := range ops {
+			if kind != faults.KindErr && op != faults.OpWrite {
+				continue // ENOSPC/torn only make sense on writes
+			}
+			name := string(kind) + "/" + string(op)
+			t.Run(name, func(t *testing.T) {
+				inj := faults.New(3, faults.Rule{Scope: "t.dir", Op: op, Kind: kind, Count: 1})
+				restore := faults.Install(inj)
+				defer restore()
+
+				dir := t.TempDir()
+				d, err := OpenDir(dir, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.SetFaultScope("t.dir")
+				if err := d.Persist(fakeReport(e, 0)); !errors.Is(err, faults.ErrInjected) {
+					t.Fatalf("Persist under %s = %v, want injected", name, err)
+				}
+				// No torn artifact anywhere: every file under the dir must
+				// be either absent or fully valid; stray temp files are the
+				// one allowed residue and are dot-prefixed.
+				entries, err := os.ReadDir(filepath.Join(dir, cellsDir))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range entries {
+					if !strings.HasPrefix(f.Name(), ".") {
+						t.Fatalf("faulted Persist left final-path artifact %s", f.Name())
+					}
+				}
+				// Budget spent: the retry persists for real and a reopen
+				// sees the cell done.
+				if err := d.Persist(fakeReport(e, 0)); err != nil {
+					t.Fatalf("clean retry: %v", err)
+				}
+				d2, err := OpenDir(dir, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d2.DoneCount() != 1 {
+					t.Fatalf("reopen sees %d done cells, want 1", d2.DoneCount())
+				}
+			})
+		}
+	}
+}

@@ -34,6 +34,10 @@ type Options struct {
 	// (summary-only disk entries pass through); violations mark the cell
 	// failed (CellReport.Error) rather than aborting the sweep.
 	Verify bool
+	// FaultScope, when non-empty, subjects RunDir's artifact writes to
+	// the process-global fault injector (internal/faults) under this
+	// scope. Tests only; empty in production.
+	FaultScope string
 }
 
 // Run expands the grid and executes every cell, returning the aggregated
@@ -80,6 +84,9 @@ func (e *Expanded) RunDir(ctx context.Context, dir string, opt Options) (*Report
 	d, err := OpenDir(dir, e)
 	if err != nil {
 		return nil, err
+	}
+	if opt.FaultScope != "" {
+		d.SetFaultScope(opt.FaultScope)
 	}
 
 	// Persist each finished cell and refresh the manifest as results
