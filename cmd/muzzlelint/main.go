@@ -1,0 +1,273 @@
+// Command muzzlelint runs the repo's custom analyzer suite (internal/lint)
+// over Go packages. Two modes:
+//
+// Standalone, for CI and local use:
+//
+//	go run ./cmd/muzzlelint ./...
+//	go run ./cmd/muzzlelint -fix ./internal/service
+//
+// As a vet tool, which lets `go vet` drive it incrementally through the
+// build cache using the unitchecker protocol (-V=full handshake, -flags
+// enumeration, then one .cfg file per package):
+//
+//	go build -o muzzlelint ./cmd/muzzlelint
+//	go vet -vettool=$PWD/muzzlelint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"muzzle/internal/lint"
+	"muzzle/internal/lint/analysis"
+	"muzzle/internal/lint/load"
+)
+
+func main() {
+	// The vet handshake comes before flag parsing: vet probes the tool's
+	// identity with -V=full and its flag set with -flags.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" {
+			// Hex suffix doubles as the protocol's cache-busting build ID.
+			fmt.Printf("%s version devel comments-go-here buildID=muzzlelint-1\n", os.Args[0])
+			return
+		}
+		if arg == "-flags" {
+			// Flags vet is allowed to forward to us.
+			fmt.Println(`[{"Name":"fix","Bool":true,"Usage":"apply suggested fixes"}]`)
+			return
+		}
+	}
+
+	fix := flag.Bool("fix", false, "apply suggested fixes to source files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: muzzlelint [-fix] <packages>\n       muzzlelint <package>.cfg  (vet unitchecker mode)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args, *fix))
+}
+
+// finding pairs a diagnostic with the package whose pass produced it so
+// fixes can be applied and output ordered globally.
+type finding struct {
+	analyzer string
+	fset     *token.FileSet
+	diag     analysis.Diagnostic
+}
+
+func standalone(patterns []string, fix bool) int {
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muzzlelint:", err)
+		return 2
+	}
+	var findings []finding
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			for _, e := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "muzzlelint: %s: %v\n", p.ImportPath, e)
+			}
+			return 2
+		}
+		for _, a := range lint.All() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, finding{a.Name, p.Fset, d})
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "muzzlelint: %s: %s: %v\n", a.Name, p.ImportPath, err)
+				return 2
+			}
+		}
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := findings[i].fset.Position(findings[i].diag.Pos), findings[j].fset.Position(findings[j].diag.Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.fset.Position(f.diag.Pos), f.analyzer, f.diag.Message)
+	}
+	if fix {
+		if err := applyFixes(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "muzzlelint: applying fixes:", err)
+			return 2
+		}
+	}
+	return 1
+}
+
+// applyFixes rewrites source files with each finding's first suggested
+// fix, applying edits per file from the end backward so earlier offsets
+// stay valid. Overlapping edits are skipped.
+func applyFixes(findings []finding) error {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		if len(f.diag.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range f.diag.SuggestedFixes[0].TextEdits {
+			pos := f.fset.Position(te.Pos)
+			end := pos.Offset
+			if te.End.IsValid() {
+				end = f.fset.Position(te.End).Offset
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end, te.NewText})
+		}
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prev := len(src) + 1
+		for _, e := range edits {
+			if e.end > prev || e.end > len(src) {
+				continue // overlapping or stale edit
+			}
+			src = append(src[:e.start], append(e.text, src[e.end:]...)...)
+			prev = e.start
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "muzzlelint: fixed %s\n", file)
+	}
+	return nil
+}
+
+// vetConfig is the subset of vet's unitchecker .cfg file we consume.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package the way `go vet -vettool` drives it.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muzzlelint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "muzzlelint:", err)
+		return 2
+	}
+	// The driver requires the facts file to exist even though this suite
+	// exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "muzzlelint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "muzzlelint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "muzzlelint:", err)
+		return 2
+	}
+
+	exit := 0
+	for _, a := range lint.All() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 2
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "muzzlelint: %s: %v\n", a.Name, err)
+			return 2
+		}
+	}
+	return exit
+}

@@ -115,20 +115,21 @@ type LRU struct {
 	max     int
 	dir     string
 	maxDisk int
-	ll      *list.List
-	items   map[string]*list.Element
-	stats   Stats
+	ll      *list.List               // guarded by mu
+	items   map[string]*list.Element // guarded by mu
+	stats   Stats                    // guarded by mu
 
-	// Disk-tier degradation state, guarded by mu. consecErrs counts
-	// consecutive failed disk I/O operations (any success resets it);
-	// reaching tripAfter trips the tier to memory-only until a re-probe
-	// — the first disk operation allowed once probeAt passes — succeeds.
+	// Disk-tier degradation config, immutable after New: consecutive
+	// failed disk I/O operations (any success resets the count) reaching
+	// tripAfter trip the tier to memory-only until a re-probe — the first
+	// disk operation allowed once probeAt passes — succeeds.
 	faultScope string
 	tripAfter  int
 	retryEvery time.Duration
-	consecErrs int
-	tripped    bool
-	probeAt    time.Time
+
+	consecErrs int       // guarded by mu
+	tripped    bool      // guarded by mu
+	probeAt    time.Time // guarded by mu
 
 	// diskMu serializes disk sweeps (listing + deleting) so concurrent
 	// inserts past the bound do not race over the same victims; the

@@ -17,13 +17,13 @@ func TestDiskTierTripAndRecover(t *testing.T) {
 	// Budget covers the trip plus a couple of failed re-probes; once
 	// spent, the "disk" is healthy again.
 	inj := faults.New(42,
-		faults.Rule{Scope: "trip.cache", Op: faults.OpWrite, Count: tripAfter + 2},
+		faults.Rule{Scope: faults.ScopeCacheTrip, Op: faults.OpWrite, Count: tripAfter + 2},
 	)
 	defer faults.Install(inj)()
 
 	l, err := New(Config{
 		Dir:               t.TempDir(),
-		FaultScope:        "trip.cache",
+		FaultScope:        faults.ScopeCacheTrip,
 		DiskTripThreshold: tripAfter,
 		DiskRetryInterval: 30 * time.Millisecond,
 	})
@@ -94,7 +94,7 @@ func TestDiskTierTripAndRecover(t *testing.T) {
 // read failures surface in DiskErrors (formerly swallowed) and degrade to
 // cache misses, never errors.
 func TestDiskReadFaultsCountAndServeMisses(t *testing.T) {
-	inj := faults.New(7, faults.Rule{Scope: "read.cache", Op: faults.OpRead, Count: 2})
+	inj := faults.New(7, faults.Rule{Scope: faults.ScopeCacheRead, Op: faults.OpRead, Count: 2})
 	defer faults.Install(inj)()
 
 	dir := t.TempDir()
@@ -105,7 +105,7 @@ func TestDiskReadFaultsCountAndServeMisses(t *testing.T) {
 	key := fmt.Sprintf("%064d", 1)
 	seed.PutKey(key, sampleResult("seed", 1))
 
-	l, err := New(Config{Dir: dir, FaultScope: "read.cache"})
+	l, err := New(Config{Dir: dir, FaultScope: faults.ScopeCacheRead})
 	if err != nil {
 		t.Fatal(err)
 	}

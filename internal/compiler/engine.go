@@ -204,6 +204,7 @@ type engine struct {
 	rebWindowed bool
 }
 
+//muzzle:hotpath
 func (e *engine) run(res *Result) error {
 	e.res = res
 	n := len(e.ctx.Circ.Gates)
@@ -268,6 +269,8 @@ const maxCoLocateAttempts = 8
 // it materialized into a reusable buffer. With DisableIndex the engine runs
 // the original naive rescan, allocating a fresh Remaining2Q slice per
 // attempt — the reference behavior the indexed path is tested against.
+//
+//muzzle:hotpath
 func (e *engine) coLocate(active, qa, qb int, order []int, cursor, reorderChain int) (bool, error) {
 	e.setProtected(qa, qb)
 	defer e.clearProtected()
@@ -333,6 +336,8 @@ func (e *engine) coLocate(active, qa, qb int, order []int, cursor, reorderChain 
 
 // finish marks a gate executed and advances the cursor, keeping the
 // future-gate index in step.
+//
+//muzzle:hotpath
 func (e *engine) finish(active int, cursor *int, reorderChain *int) {
 	e.ctx.Executed[active] = true
 	*cursor++
@@ -346,6 +351,8 @@ func (e *engine) finish(active int, cursor *int, reorderChain *int) {
 
 // setProtected marks the active gate's operands (backed by a fixed engine
 // buffer plus the O(1) mark bitmap — no per-gate allocation).
+//
+//muzzle:hotpath
 func (e *engine) setProtected(qa, qb int) {
 	e.protBuf[0], e.protBuf[1] = qa, qb
 	e.ctx.Protected = e.protBuf[:2]
@@ -355,6 +362,7 @@ func (e *engine) setProtected(qa, qb int) {
 	}
 }
 
+//muzzle:hotpath
 func (e *engine) clearProtected() {
 	if e.ctx.protMark != nil {
 		for _, p := range e.ctx.Protected {
@@ -366,6 +374,8 @@ func (e *engine) clearProtected() {
 
 // setAvoid publishes the avoid list into the O(1) mark bitmap; clearAvoid
 // retracts it.
+//
+//muzzle:hotpath
 func (e *engine) setAvoid(avoid []int) {
 	if e.ctx.avoidMark == nil {
 		return
@@ -376,6 +386,7 @@ func (e *engine) setAvoid(avoid []int) {
 	e.ctx.avoidRef = avoid
 }
 
+//muzzle:hotpath
 func (e *engine) clearAvoid() {
 	if e.ctx.avoidMark == nil {
 		return
@@ -399,6 +410,8 @@ func (e *engine) checkIndex(order []int) {
 }
 
 // validateDecision guards against mis-behaving policies.
+//
+//muzzle:hotpath
 func validateDecision(ctx *Context, qa, qb, moveIon, dest int) error {
 	if moveIon != qa && moveIon != qb {
 		return fmt.Errorf("compiler: direction policy chose ion %d, not an operand of (%d,%d)", moveIon, qa, qb)
@@ -414,6 +427,8 @@ func validateDecision(ctx *Context, qa, qb, moveIon, dest int) error {
 }
 
 // hoist moves order[pos] to position cursor, shifting the slice right.
+//
+//muzzle:hotpath
 func hoist(order []int, cursor, pos int) {
 	v := order[pos]
 	copy(order[cursor+1:pos+1], order[cursor:pos])
@@ -426,6 +441,8 @@ func hoist(order []int, cursor, pos int) {
 // operation, bounding cascades; evicted ions are steered away from the
 // remainder of this route via the Rebalancer's avoid list so a cascade
 // cannot re-block the path it is clearing.
+//
+//muzzle:hotpath
 func (e *engine) routeWithRebalance(ion, dest int, remaining []int, win Window, budget *int) error {
 	topo := e.st.Config().Topology
 	for e.st.IonTrap(ion) != dest {
@@ -460,6 +477,8 @@ func (e *engine) routeWithRebalance(ion, dest int, remaining []int, win Window, 
 // would cycle between two full traps. When the corridor toward the
 // destination is open, the victim completes the full journey, preserving
 // the baseline policy's (wasteful) long hauls that Fig. 7 illustrates.
+//
+//muzzle:hotpath
 func (e *engine) ensureSpace(blocked int, remaining []int, win Window, avoid []int, budget *int) error {
 	if *budget <= 0 {
 		return fmt.Errorf("rebalance budget exhausted at trap %d", blocked)
@@ -525,6 +544,8 @@ func (e *engine) ensureSpace(blocked int, remaining []int, win Window, avoid []i
 // shiftIon picks the ion to shift from trap `from` into adjacent trap `to`
 // during a hole shift: the chain-edge ion facing the direction of travel
 // (zero intra-chain swaps), skipping engine-protected ions when possible.
+//
+//muzzle:hotpath
 func (e *engine) shiftIon(from, to int) int {
 	chain := e.st.Chain(from)
 	n := len(chain)

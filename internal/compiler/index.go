@@ -88,6 +88,8 @@ func newFutureIndex(ctx *Context, order []int) *futureIndex {
 
 // executed removes a finished gate from the index. The engine only executes
 // the gate at the cursor, which by construction heads every list it is in.
+//
+//muzzle:hotpath
 func (idx *futureIndex) executed(ctx *Context, gi int) {
 	g := ctx.Circ.Gates[gi]
 	if !g.Is2Q() {
@@ -102,6 +104,8 @@ func (idx *futureIndex) executed(ctx *Context, gi int) {
 // (shifting order[cursor:pos] right by one). order is the already-mutated
 // slice. The hoisted gate becomes the schedule-first pending 2Q gate, so it
 // moves to the head of every list it is in.
+//
+//muzzle:hotpath
 func (idx *futureIndex) hoisted(ctx *Context, order []int, cursor, pos int) {
 	for p := cursor; p <= pos; p++ {
 		idx.pos[order[p]] = p
@@ -115,6 +119,8 @@ func (idx *futureIndex) hoisted(ctx *Context, order []int, cursor, pos int) {
 
 // moveToFront moves the (present) value v to index 0, shifting the prefix
 // right; list order is otherwise preserved.
+//
+//muzzle:hotpath
 func moveToFront(list []int, v int) {
 	for i, x := range list {
 		if x == v {
@@ -146,6 +152,8 @@ func (ctx *Context) HasIndex() bool { return ctx.idx != nil }
 
 // Cursor returns the engine's current schedule position, or -1 when no
 // index is live (hand-built contexts, DisableIndex).
+//
+//muzzle:hotpath
 func (ctx *Context) Cursor() int {
 	if ctx.idx == nil {
 		return -1
@@ -161,6 +169,8 @@ func (ctx *Context) GatePos(gi int) int { return ctx.idx.pos[gi] }
 // order. The first entry may be the active gate itself; policies scoring a
 // lookahead window filter with InWindow. Ions outside the circuit register
 // (spectators) return nil. The returned slice must not be modified.
+//
+//muzzle:hotpath
 func (ctx *Context) FutureGates(q int) []int {
 	if q < 0 || q >= len(ctx.idx.future) {
 		return nil
@@ -170,6 +180,8 @@ func (ctx *Context) FutureGates(q int) []int {
 
 // NextUnexecuted returns the schedule-first unexecuted 2Q gate using qubit
 // q, or -1 if none remains.
+//
+//muzzle:hotpath
 func (ctx *Context) NextUnexecuted(q int) int {
 	f := ctx.FutureGates(q)
 	if len(f) == 0 {
@@ -180,6 +192,8 @@ func (ctx *Context) NextUnexecuted(q int) int {
 
 // InWindow reports whether gate gi belongs to window w: strictly after the
 // cursor, at or before the window's last position, and not excluded.
+//
+//muzzle:hotpath
 func (ctx *Context) InWindow(w Window, gi int) bool {
 	p := ctx.idx.pos[gi]
 	return p > ctx.idx.cursor && p <= w.Last && gi != w.Exclude
@@ -189,6 +203,8 @@ func (ctx *Context) InWindow(w Window, gi int) bool {
 // pending 2Q gates after the cursor, excluding gate excludeGate (-1: none).
 // Cost is O(log n) (a binary search locating the excluded gate); no gates
 // are scanned or copied.
+//
+//muzzle:hotpath
 func (ctx *Context) Window(limit, excludeGate int) Window {
 	idx := ctx.idx
 	L := idx.pending
@@ -229,6 +245,8 @@ func (ctx *Context) Window(limit, excludeGate int) Window {
 
 // rankByPos binary-searches the position-sorted gate list for the first
 // entry at or after order position p.
+//
+//muzzle:hotpath
 func rankByPos(list []int, pos []int, p int) int {
 	lo, hi := 0, len(list)
 	for lo < hi {
@@ -245,6 +263,8 @@ func rankByPos(list []int, pos []int, p int) int {
 // AppendWindow materializes window w into buf (reusing its storage) in
 // schedule order — the bridge from a Window descriptor to the []int
 // remaining view of the legacy policy interfaces.
+//
+//muzzle:hotpath
 func (ctx *Context) AppendWindow(buf []int, w Window) []int {
 	buf = buf[:0]
 	if w.Last < 0 {

@@ -65,6 +65,8 @@ type Context struct {
 // IsProtected reports whether ion is currently protected from eviction.
 // With an engine-maintained mark bitmap the query is O(1); hand-built
 // contexts fall back to scanning the (tiny) Protected slice.
+//
+//muzzle:hotpath
 func (ctx *Context) IsProtected(ion int) bool {
 	if ctx.protMark != nil {
 		return ion < len(ctx.protMark) && ctx.protMark[ion]
@@ -80,6 +82,8 @@ func (ctx *Context) IsProtected(ion int) bool {
 // Avoided reports whether trap t is in the avoid list. When the engine's
 // avoid marks are current for this exact slice the query is O(1); otherwise
 // it degrades to the linear InAvoid scan.
+//
+//muzzle:hotpath
 func (ctx *Context) Avoided(avoid []int, t int) bool {
 	if ctx.avoidMark != nil && len(avoid) == len(ctx.avoidRef) &&
 		(len(avoid) == 0 || &avoid[0] == &ctx.avoidRef[0]) {
@@ -114,6 +118,8 @@ type Rebalancer interface {
 }
 
 // InAvoid reports whether trap t is in the avoid list.
+//
+//muzzle:hotpath
 func InAvoid(avoid []int, t int) bool {
 	for _, a := range avoid {
 		if a == t {
@@ -130,6 +136,8 @@ func InAvoid(avoid []int, t int) bool {
 // blocked corridor spawns recursive evictions that can cycle (two full
 // traps each needing the other cleared first). The walk follows the
 // precomputed shortest-path table, so the query is allocation-free.
+//
+//muzzle:hotpath
 func PathClear(st *machine.State, from, to int) bool {
 	path := st.Config().Topology.Path(from, to)
 	if len(path) <= 2 {
@@ -161,6 +169,8 @@ type Reorderer interface {
 // future-gate index (see index.go) and only falls back to this scan when
 // the index is disabled. It remains the reference implementation the
 // trace-equivalence tests compare against.
+//
+//muzzle:hotpath
 func Remaining2Q(ctx *Context, order []int, cursor, limit, exclude int) []int {
 	// Size from what can actually remain, not the lookahead cap: near the
 	// end of a schedule the window holds only a handful of gates and a

@@ -69,14 +69,14 @@ func TestChaosSweepSurvivesSeededFaultSchedule(t *testing.T) {
 		// more are served but answered with a synthesized 500 — work done,
 		// answer lost. Budgets make the schedule finite; everything after
 		// call 6 is clean.
-		faults.Rule{Scope: "chaos.net", Op: faults.OpHTTP, Kind: faults.KindLatency, Latency: 5 * time.Millisecond, Count: 3},
-		faults.Rule{Scope: "chaos.net", Op: faults.OpHTTP, Kind: faults.KindReset, Count: 2},
-		faults.Rule{Scope: "chaos.net", Op: faults.OpHTTP, Kind: faults.KindHTTP500, Count: 2},
+		faults.Rule{Scope: faults.ScopeCoordNet, Op: faults.OpHTTP, Kind: faults.KindLatency, Latency: 5 * time.Millisecond, Count: 3},
+		faults.Rule{Scope: faults.ScopeCoordNet, Op: faults.OpHTTP, Kind: faults.KindReset, Count: 2},
+		faults.Rule{Scope: faults.ScopeCoordNet, Op: faults.OpHTTP, Kind: faults.KindHTTP500, Count: 2},
 		// Disk: each survivor's first four cache-tier I/O ops fail, enough
 		// to trip a tier (threshold 2) on its first executed cell; the
 		// budget leaves the re-probe path clean so a tripped tier recovers.
-		faults.Rule{Scope: "chaos.disk.a", Count: 4},
-		faults.Rule{Scope: "chaos.disk.c", Count: 4},
+		faults.Rule{Scope: faults.ScopeCoordDisk + ".a", Count: 4},
+		faults.Rule{Scope: faults.ScopeCoordDisk + ".c", Count: 4},
 	)
 	restore := faults.Install(inj)
 	defer restore()
@@ -128,9 +128,9 @@ func TestChaosSweepSurvivesSeededFaultSchedule(t *testing.T) {
 		})
 	}
 
-	srvA, cacheA := newChaosWorker(t, "w-a", diskCfg("chaos.disk.a"), slowWrap)
+	srvA, cacheA := newChaosWorker(t, "w-a", diskCfg(faults.ScopeCoordDisk+".a"), slowWrap)
 	srvV, cacheV := newChaosWorker(t, "w-victim", diskCfg(""), victimWrap)
-	srvC, cacheC := newChaosWorker(t, "w-c", diskCfg("chaos.disk.c"), slowWrap)
+	srvC, cacheC := newChaosWorker(t, "w-c", diskCfg(faults.ScopeCoordDisk+".c"), slowWrap)
 
 	c, err := coord.New(coord.Config{
 		Workers:           []string{srvA.URL, srvV.URL, srvC.URL},
@@ -142,7 +142,7 @@ func TestChaosSweepSurvivesSeededFaultSchedule(t *testing.T) {
 		Backoff:           coord.Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond},
 		BreakerThreshold:  3,
 		BreakerCooldown:   200 * time.Millisecond,
-		FaultScope:        "chaos.net",
+		FaultScope:        faults.ScopeCoordNet,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestChaosSweepSurvivesSeededFaultSchedule(t *testing.T) {
 		t.Error("fault schedule fired nothing — the chaos run was a plain run")
 	}
 	fired := inj.Fired()
-	if fired["chaos.net/http"] == 0 {
+	if fired[faults.ScopeCoordNet+"/http"] == 0 {
 		t.Error("no transport faults fired")
 	}
 	trips := cacheA.Stats().DiskTrips + cacheC.Stats().DiskTrips

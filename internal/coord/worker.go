@@ -25,10 +25,10 @@ type worker struct {
 	client *http.Client
 
 	mu         sync.Mutex
-	healthy    bool
-	info       service.WorkerInfo
-	advertised int // worker pool size from /healthz "workers"
-	lastErr    string
+	healthy    bool               // guarded by mu
+	info       service.WorkerInfo // guarded by mu
+	advertised int                // guarded by mu; worker pool size from /healthz "workers"
+	lastErr    string             // guarded by mu
 
 	// Circuit-breaker state, guarded by mu. The breaker is layered under
 	// the probe-driven health bit: a worker can answer /healthz perfectly
@@ -38,10 +38,10 @@ type worker struct {
 	// admits none until the cooldown elapses; half-open admits exactly
 	// one trial dispatch whose outcome closes or re-opens the circuit.
 	brk         breakerState
-	brkConsec   int       // consecutive dispatch failures
-	brkOpenedAt time.Time // when the circuit last opened
-	brkProbing  bool      // a half-open trial dispatch is in flight
-	brkOpens    int64     // cumulative opens, for metrics
+	brkConsec   int       // guarded by mu; consecutive dispatch failures
+	brkOpenedAt time.Time // guarded by mu; when the circuit last opened
+	brkProbing  bool      // guarded by mu; a half-open trial dispatch is in flight
+	brkOpens    int64     // guarded by mu; cumulative opens, for metrics
 
 	inflight   atomic.Int64
 	dispatched atomic.Int64

@@ -34,6 +34,8 @@ type Graph struct {
 // operands outside barriers) and stored in flat arenas sized exactly from a
 // counting pass, so Build performs O(1) allocations regardless of circuit
 // size while producing byte-identical preds/succs/layers.
+//
+//muzzle:hotpath
 func Build(c *circuit.Circuit) *Graph {
 	n := len(c.Gates)
 	g := &Graph{

@@ -1,0 +1,27 @@
+package faults
+
+// Fault-injection scope registry. A scope is the string key that connects
+// a Rule to the Check/CheckWrite/RoundTripper call sites it arms; a typo
+// on either side silently disables injection, so every scope in the repo
+// is declared here and the faultscope analyzer (internal/lint/faultscope)
+// rejects string literals everywhere else. Derived per-instance scopes
+// concatenate off a constant: ScopeCoordDisk + ".a".
+const (
+	// ScopeCacheTrip arms the cache breaker tests: repeated disk-write
+	// faults until the LRU's disk tier trips open.
+	ScopeCacheTrip = "trip.cache"
+	// ScopeCacheRead arms transient disk-read faults against cache hits.
+	ScopeCacheRead = "read.cache"
+	// ScopeStoreWAL arms torn-write faults against the job journal's WAL.
+	ScopeStoreWAL = "test.wal"
+	// ScopeStoreWALSpace arms ENOSPC write/sync faults against the WAL.
+	ScopeStoreWALSpace = "test.wal2"
+	// ScopeSweepDir arms per-op faults against sweep artifact directories.
+	ScopeSweepDir = "t.dir"
+	// ScopeCoordNet arms transport chaos (latency, resets, HTTP 500s) on
+	// the coordinator's worker client.
+	ScopeCoordNet = "chaos.net"
+	// ScopeCoordDisk is the base scope for per-worker artifact-disk
+	// chaos; instances append a worker suffix (ScopeCoordDisk + ".a").
+	ScopeCoordDisk = "chaos.disk"
+)

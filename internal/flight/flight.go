@@ -45,8 +45,8 @@ type call[V any] struct {
 // use; a Group must not be copied after first use.
 type Group[V any] struct {
 	mu    sync.Mutex
-	calls map[string]*call[V]
-	stats Stats
+	calls map[string]*call[V] // guarded by mu
+	stats Stats               // guarded by mu
 }
 
 // Do executes fn under key, coalescing with any execution of the same key

@@ -1,0 +1,248 @@
+// Package analysistest runs one analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := []int{1}  // want `slice literal`
+//
+// Each fixture directory under testdata/src is a package whose import
+// path is its path relative to src; fixtures import each other that way
+// ("cachekey/internal/circuit"). Standard-library imports resolve through
+// gc export data located on demand with `go list -export`, so fixtures
+// can use fmt, sync, net/http without the loader re-checking the standard
+// library from source.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"muzzle/internal/lint/analysis"
+)
+
+// Run loads each fixture package named by patterns (paths relative to
+// testdata/src), applies a, and reports mismatches against the fixtures'
+// // want comments through t. It returns all diagnostics in source order
+// plus the FileSet that renders their positions, so callers can
+// additionally assert on suggested fixes.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	var all []analysis.Diagnostic
+	for _, pattern := range patterns {
+		fp, err := ld.load(pattern)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", pattern, err)
+		}
+		var got []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     fp.files,
+			Pkg:       fp.pkg,
+			TypesInfo: fp.info,
+			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer error: %v", pattern, err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+		check(t, ld.fset, fp, got)
+		all = append(all, got...)
+	}
+	return all, ld.fset
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// check compares diagnostics against the fixture's want comments.
+func check(t *testing.T, fset *token.FileSet, fp *fixturePkg, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range wantRe.FindAllString(c.Text[idx+len("want "):], -1) {
+					var pat string
+					if lit[0] == '`' {
+						pat = lit[1 : len(lit)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture import paths from the src tree and everything
+// else from gc export data.
+type loader struct {
+	src      string
+	fset     *token.FileSet
+	fixtures map[string]*fixturePkg
+	exports  map[string]string // stdlib path -> export file
+	gc       types.Importer
+}
+
+func newLoader(src string) *loader {
+	ld := &loader{
+		src:      src,
+		fset:     token.NewFileSet(),
+		fixtures: map[string]*fixturePkg{},
+		exports:  map[string]string{},
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.lookup)
+	return ld
+}
+
+// Import implements types.Importer over the fixture tree + stdlib.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.src, path)); err == nil && fi.IsDir() {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return ld.gc.Import(path)
+}
+
+// load parses and type-checks the fixture package at src/path.
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := ld.fixtures[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(ld.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	ld.fixtures[path] = fp
+	return fp, nil
+}
+
+// lookup feeds the gc importer export data for standard-library packages,
+// locating it (and its whole dependency closure, to amortize the exec)
+// with `go list -export -deps` on first miss.
+func (ld *loader) lookup(path string) (io.ReadCloser, error) {
+	if exp, ok := ld.exports[path]; ok {
+		return os.Open(exp)
+	}
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+	cmd.Dir = ld.src
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if lp.Export != "" {
+			ld.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	exp, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(exp)
+}

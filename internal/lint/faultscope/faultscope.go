@@ -1,0 +1,196 @@
+// Package faultscope enforces that fault-injection scope strings come
+// from the single registry in internal/faults. A typo'd scope does not
+// fail — it silently matches no rules and the "chaos" test quietly stops
+// injecting anything — so every place a scope enters the system must name
+// a registry constant:
+//
+//	sinks: faults.Check / faults.CheckWrite / faults.RoundTripper scope
+//	arguments, Rule{Scope: ...} literals, FaultScope / DirFaultScope
+//	struct fields and assignments, and SetFaultScope calls.
+//
+// Plumbing through variables, fields, and parameters is always fine (the
+// constant was checked where the value originated); what gets flagged is
+// a fresh non-empty string literal, or a constant declared outside the
+// registry. Derived scopes concatenate off a registry constant
+// (faults.ScopeCoordDisk + ".a"), which passes. The Op argument of
+// faults.Check likewise must be one of the registry's Op constants.
+//
+// Unlike the other analyzers, test files are checked too — scopes are
+// typed almost exclusively in tests. The registry package itself (path
+// suffix "internal/faults") is exempt.
+package faultscope
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"muzzle/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "faultscope",
+	Doc: "check that fault-injection scopes and ops are named constants from internal/faults\n\n" +
+		"String-literal scopes silently match no rules when typo'd; routing every\n" +
+		"scope through the registry makes the compiler catch the typo instead.",
+	Run: run,
+}
+
+const registrySuffix = "internal/faults"
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), registrySuffix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.CompositeLit:
+				checkComposite(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && isScopeField(sel.Sel.Name) {
+						checkScopeExpr(pass, n.Rhs[i], "assignment to "+sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isScopeField matches the config-plumbing fields used across cache,
+// store, sweep, and coord.
+func isScopeField(name string) bool {
+	return name == "FaultScope" || name == "DirFaultScope" || name == "Scope"
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	switch {
+	case isRegistryFunc(obj, "Check") && len(call.Args) == 2:
+		checkScopeExpr(pass, call.Args[0], "faults.Check scope")
+		checkOpExpr(pass, call.Args[1])
+	case isRegistryFunc(obj, "CheckWrite") && len(call.Args) == 2:
+		checkScopeExpr(pass, call.Args[0], "faults.CheckWrite scope")
+	case isRegistryFunc(obj, "RoundTripper") && len(call.Args) == 2:
+		checkScopeExpr(pass, call.Args[0], "faults.RoundTripper scope")
+	case obj.Name() == "SetFaultScope" && len(call.Args) == 1:
+		checkScopeExpr(pass, call.Args[0], "SetFaultScope argument")
+	}
+}
+
+// checkComposite checks Rule{Scope: ...} literals and FaultScope /
+// DirFaultScope fields of any options struct literal.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !isScopeField(key.Name) {
+			continue
+		}
+		if key.Name == "Scope" {
+			// Only faults.Rule's Scope field is a fault scope; other
+			// structs may coincidentally have one.
+			named := analysis.Named(pass.TypesInfo.Types[lit].Type)
+			if named == nil || named.Obj().Name() != "Rule" ||
+				named.Obj().Pkg() == nil || !strings.HasSuffix(named.Obj().Pkg().Path(), registrySuffix) {
+				continue
+			}
+		}
+		checkScopeExpr(pass, kv.Value, key.Name+" field")
+	}
+}
+
+// checkScopeExpr reports e when it introduces a scope that bypasses the
+// registry: a non-empty string literal or a constant declared elsewhere.
+func checkScopeExpr(pass *analysis.Pass, e ast.Expr, what string) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Value != `""` && e.Value != "``" {
+			pass.Reportf(e.Pos(), "%s is the string literal %s; use a named constant from %s so typos cannot silently disable injection",
+				what, e.Value, registrySuffix)
+		}
+	case *ast.BinaryExpr:
+		// Derived scopes are fine as long as a registry constant anchors
+		// the concatenation.
+		if !containsRegistryConst(pass, e) {
+			pass.Reportf(e.Pos(), "%s is built without any %s constant; anchor derived scopes on a registry constant",
+				what, registrySuffix)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if obj := usedObj(pass, e); obj != nil {
+			if c, ok := obj.(*types.Const); ok && !fromRegistry(c) {
+				pass.Reportf(e.Pos(), "%s is the constant %s declared outside %s; move it into the registry",
+					what, obj.Name(), registrySuffix)
+			}
+		}
+	}
+}
+
+// checkOpExpr requires the Op argument of faults.Check to be a registry Op
+// constant (or a plumbed variable).
+func checkOpExpr(pass *analysis.Pass, e ast.Expr) {
+	obj := usedObj(pass, e)
+	if obj == nil {
+		if lit, ok := e.(*ast.BasicLit); ok {
+			pass.Reportf(lit.Pos(), "faults.Check op is the literal %s; use one of the faults.Op constants", lit.Value)
+		}
+		return
+	}
+	if c, ok := obj.(*types.Const); ok && !fromRegistry(c) {
+		pass.Reportf(e.Pos(), "faults.Check op is the constant %s declared outside %s; use one of the faults.Op constants",
+			obj.Name(), registrySuffix)
+	}
+}
+
+func containsRegistryConst(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok {
+			if c, ok := usedObj(pass, x).(*types.Const); ok && fromRegistry(c) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func usedObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+func isRegistryFunc(obj types.Object, name string) bool {
+	return obj.Name() == name && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), registrySuffix)
+}
+
+func fromRegistry(c *types.Const) bool {
+	return c.Pkg() != nil && strings.HasSuffix(c.Pkg().Path(), registrySuffix)
+}

@@ -1,0 +1,291 @@
+// Package guardedby checks the repo's lock discipline: a struct field
+// whose declaration carries a "// guarded by <mu>" comment may only be
+// accessed where the matching mutex is held. The service scheduler, flight
+// group, store journal, cache, and coordinator pool all centralize state
+// behind one mutex per struct; this analyzer turns that convention into a
+// build error instead of a race-detector roulette.
+//
+// Holding the lock is established by structural replay: walking outward
+// from the access through its enclosing blocks, the analyzer interprets
+// the top-level `recv.mu.Lock()` / `Unlock()` (and RLock/RUnlock)
+// statements that precede the access at each nesting level, in order.
+// That models the repo's real patterns — lock/branch/unlock switches,
+// lock-unlock-relock sequences, per-case unlocks — without needing a full
+// CFG. `defer recv.mu.Unlock()` is correctly ignored (it releases at
+// return, after every access).
+//
+// Functions exempt from replay:
+//
+//   - name ends in "Locked" — caller-holds-lock convention
+//     (emitLocked, insertLocked, compactLocked, ...)
+//   - doc carries //muzzle:locked — same convention, for names where the
+//     suffix reads badly
+//   - doc carries //muzzle:nolock <why> — the object is provably
+//     unshared, e.g. recovery/startup before any goroutine exists
+//   - the function builds the struct with a composite literal — a
+//     constructor initializing fields before the value escapes
+//
+// Closures replay their own bodies only: a goroutine body must lock for
+// itself, which matches how every closure in the repo behaves.
+//
+// Test files are skipped. An annotation naming a mutex field the struct
+// does not declare is itself an error.
+package guardedby
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"muzzle/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "check that fields commented \"guarded by <mu>\" are only accessed under that mutex\n\n" +
+		"Exemptions: functions named *Locked, //muzzle:locked, //muzzle:nolock <why>,\n" +
+		"and constructors (any function containing a composite literal of the struct).",
+	Run: run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardKey identifies one guarded field.
+type guardKey struct {
+	strct *types.TypeName
+	field string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds every "guarded by <mu>" field annotation in the
+// package's struct declarations and validates that the named mutex exists
+// as a sibling field.
+func collectGuards(pass *analysis.Pass) map[guardKey]string {
+	guards := map[guardKey]string{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if obj == nil {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardName(fld)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(fld.Pos(), "field is guarded by %s, but struct %s has no field %s", mu, obj.Name(), mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					guards[guardKey{obj, name.Name}] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardName extracts the mutex name from a field's doc or trailing line
+// comment, or "".
+func guardName(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[guardKey]string) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") ||
+		analysis.HasDirective(fd.Doc, "muzzle:locked") ||
+		analysis.HasDirective(fd.Doc, "muzzle:nolock") {
+		return
+	}
+	var constructed map[*types.TypeName]bool
+	analysis.WalkStack(fd, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sn, ok := pass.TypesInfo.Selections[sel]
+		if !ok || sn.Kind() != types.FieldVal {
+			return true
+		}
+		named := analysis.Named(sn.Recv())
+		if named == nil {
+			return true
+		}
+		key := guardKey{named.Obj(), sn.Obj().Name()}
+		mu, guarded := guards[key]
+		if !guarded {
+			return true
+		}
+		if constructed == nil {
+			constructed = constructedTypes(pass, fd)
+		}
+		if constructed[named.Obj()] {
+			return true
+		}
+		base := exprText(pass, sel.X)
+		if base == "" || heldAt(pass, stack, sel.Pos(), base, mu) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s but accessed without holding %s.%s",
+			named.Obj().Name(), sn.Obj().Name(), mu, base, mu)
+		return true
+	})
+}
+
+// constructedTypes returns the guarded struct types that fd instantiates
+// with a composite literal — the constructor exemption: New-style
+// functions initialize fields before the value is shared.
+func constructedTypes(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if named := analysis.Named(pass.TypesInfo.Types[cl].Type); named != nil {
+			out[named.Obj()] = true
+		}
+		return true
+	})
+	return out
+}
+
+// heldAt replays the lock statements that structurally precede the access
+// and reports whether base.mu is held there. stack is the access's
+// ancestor chain from WalkStack (the function outermost). At each
+// enclosing statement list, only statements fully before the access
+// replay — the statement containing the access (and everything after it,
+// e.g. later case bodies when the access is a case condition) is out of
+// scope.
+func heldAt(pass *analysis.Pass, stack []ast.Node, access token.Pos, base, mu string) bool {
+	// Innermost function boundary: a closure replays only its own body.
+	start := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			start = i
+			break
+		}
+	}
+	held := false
+	for i := start; i < len(stack); i++ {
+		var stmts []ast.Stmt
+		switch blk := stack[i].(type) {
+		case *ast.BlockStmt:
+			stmts = blk.List
+		case *ast.CaseClause:
+			stmts = blk.Body
+		case *ast.CommClause:
+			stmts = blk.Body
+		default:
+			continue
+		}
+		for _, s := range stmts {
+			if s.End() >= access {
+				break
+			}
+			switch lockOp(pass, s, base, mu) {
+			case lockAcquire:
+				held = true
+			case lockRelease:
+				held = false
+			}
+		}
+	}
+	return held
+}
+
+type lockAction int
+
+const (
+	lockNone lockAction = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp classifies a top-level statement as base.mu.Lock/RLock (acquire),
+// base.mu.Unlock/RUnlock (release), or neither. Deferred unlocks release
+// at return, after every access, so they are not classified.
+func lockOp(pass *analysis.Pass, s ast.Stmt, base, mu string) lockAction {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return lockNone
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return lockNone
+	}
+	method, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone
+	}
+	muSel, ok := method.X.(*ast.SelectorExpr)
+	if !ok || muSel.Sel.Name != mu || exprText(pass, muSel.X) != base {
+		return lockNone
+	}
+	switch method.Sel.Name {
+	case "Lock", "RLock":
+		return lockAcquire
+	case "Unlock", "RUnlock":
+		return lockRelease
+	}
+	return lockNone
+}
+
+// exprText renders the receiver expression for comparison ("m", "j.opts").
+func exprText(pass *analysis.Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,222 @@
+// Package hotpath guards the PR 3 allocation-free compile loop. Functions
+// annotated //muzzle:hotpath — the engine's routing loop, future-index
+// maintenance, DAG/arena builders, topo.Path — were hand-tuned to zero
+// amortized heap allocations, and that property erodes one innocent diff
+// at a time. The analyzer flags the constructs that put allocations back:
+//
+//   - map and slice composite literals
+//   - make(map) / make(chan) — make([]T, n) stays legal because the whole
+//     arena pattern is built on sized slice allocation
+//   - function literals that capture enclosing variables (escape to heap)
+//   - fmt calls, except inside a return statement: cold error exits may
+//     format, the loop body may not
+//   - explicit conversions of concrete values to interface types
+//   - append to a bare `var x []T` inside a loop (unbounded growth;
+//     append to a make()-sized or arena-backed slice is fine)
+//
+// The benchmarks in internal/compiler remain the ground truth for
+// allocs/op; this analyzer is the cheap always-on tripwire in front of
+// them.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"muzzle/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "flag heap-allocating constructs in //muzzle:hotpath functions\n\n" +
+		"Annotate a function with //muzzle:hotpath when a benchmark holds its\n" +
+		"allocs/op at zero; the analyzer then rejects map/slice literals, capturing\n" +
+		"closures, non-return fmt calls, interface conversions, make(map|chan),\n" +
+		"and unbounded append in loops.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, "muzzle:hotpath") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	bareSlices := collectBareSlices(pass, fd)
+
+	analysis.WalkStack(fd, func(n ast.Node, stack []ast.Node) bool {
+		if n == fd {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hotpath function %s allocates a map literal", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hotpath function %s allocates a slice literal", name)
+			}
+		case *ast.FuncLit:
+			if capturesLocal(pass, fd, n) {
+				pass.Reportf(n.Pos(), "hotpath function %s creates a closure capturing local variables (heap escape)", name)
+			}
+			// Report once per literal, but still scan its body for the
+			// other constructs.
+			return true
+		case *ast.CallExpr:
+			checkCall(pass, name, n, stack, bareSlices)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, stack []ast.Node, bareSlices map[types.Object]bool) {
+	// make(map[...]..., ...) / make(chan ...): sized slices stay legal.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				switch pass.TypesInfo.Types[call].Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(call.Pos(), "hotpath function %s allocates with make(map)", name)
+				case *types.Chan:
+					pass.Reportf(call.Pos(), "hotpath function %s allocates with make(chan)", name)
+				}
+			case "append":
+				if len(call.Args) > 0 && inLoop(stack) {
+					if base, ok := call.Args[0].(*ast.Ident); ok && bareSlices[pass.TypesInfo.Uses[base]] {
+						pass.Reportf(call.Pos(), "hotpath function %s grows unsized slice %s with append inside a loop", name, base.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// fmt.* calls outside return statements.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			if !inReturn(stack) {
+				pass.Reportf(call.Pos(), "hotpath function %s calls fmt.%s outside a return statement", name, sel.Sel.Name)
+			}
+			return
+		}
+	}
+
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) {
+			if argT := pass.TypesInfo.Types[call.Args[0]].Type; argT != nil && !types.IsInterface(argT) {
+				if b, ok := argT.Underlying().(*types.Basic); !ok || b.Kind() != types.UntypedNil {
+					pass.Reportf(call.Pos(), "hotpath function %s converts %s to interface %s (boxes on the heap)", name, argT, tv.Type)
+				}
+			}
+		}
+	}
+}
+
+// collectBareSlices returns the objects of `var x []T` declarations (no
+// initializer) in fd — append targets that grow without bound.
+func collectBareSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	bare := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, id := range vs.Names {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+						bare[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return bare
+}
+
+// capturesLocal reports whether lit references a variable declared in fd
+// outside lit itself (a capture, which forces the closure and captured
+// vars to the heap).
+func capturesLocal(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Declared inside fd but outside lit: a capture. Receiver and
+		// parameters of fd count too — they pin the closure just the same.
+		if within(fd, posNode{v.Pos()}) && !within(lit, posNode{v.Pos()}) {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+func inReturn(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+func within(outer ast.Node, n ast.Node) bool {
+	return outer.Pos() <= n.Pos() && n.Pos() <= outer.End()
+}
+
+// posNode adapts a bare token.Pos to ast.Node for within().
+type posNode struct{ p token.Pos }
+
+func (p posNode) Pos() token.Pos { return p.p }
+func (p posNode) End() token.Pos { return p.p }

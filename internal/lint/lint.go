@@ -1,0 +1,31 @@
+// Package lint registers the muzzle analyzer suite. Each analyzer encodes
+// one load-bearing invariant the repo otherwise enforces only by review:
+//
+//	cachekey    every exported field of ckey-hashed structs enters the hash
+//	faultscope  fault-injection scopes come from the internal/faults registry
+//	hotpath     //muzzle:hotpath functions stay free of allocating constructs
+//	guardedby   "guarded by <mu>" fields are only touched under the mutex
+//	httperr     handlers respond with structured JSON errors, never http.Error
+//
+// Run the whole suite with `go run ./cmd/muzzlelint ./...`.
+package lint
+
+import (
+	"muzzle/internal/lint/analysis"
+	"muzzle/internal/lint/cachekey"
+	"muzzle/internal/lint/faultscope"
+	"muzzle/internal/lint/guardedby"
+	"muzzle/internal/lint/hotpath"
+	"muzzle/internal/lint/httperr"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cachekey.Analyzer,
+		faultscope.Analyzer,
+		guardedby.Analyzer,
+		hotpath.Analyzer,
+		httperr.Analyzer,
+	}
+}

@@ -1,0 +1,120 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"muzzle/internal/lint"
+	"muzzle/internal/lint/analysis"
+	"muzzle/internal/lint/analysistest"
+	"muzzle/internal/lint/cachekey"
+	"muzzle/internal/lint/faultscope"
+	"muzzle/internal/lint/guardedby"
+	"muzzle/internal/lint/hotpath"
+	"muzzle/internal/lint/httperr"
+	"muzzle/internal/lint/load"
+)
+
+func TestCachekey(t *testing.T) {
+	diags, _ := analysistest.Run(t, "testdata", cachekey.Analyzer, "ckeyfix/internal/ckey")
+
+	// The missing-field diagnostic must carry the mechanical hash-write
+	// fix, anchored after the last Gate statement with the right helper.
+	var fixed bool
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "circuit.Gate.Label") || len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		fix := d.SuggestedFixes[0]
+		if len(fix.TextEdits) != 1 {
+			t.Fatalf("fix edits = %d, want 1", len(fix.TextEdits))
+		}
+		if got := string(fix.TextEdits[0].NewText); !strings.Contains(got, "writeString(h, g.Label)") {
+			t.Errorf("fix text = %q, want a writeString(h, g.Label) insert", got)
+		}
+		if !strings.Contains(fix.Message, "ckey.Version") {
+			t.Errorf("fix message %q should remind about the version bump", fix.Message)
+		}
+		fixed = true
+	}
+	if !fixed {
+		t.Error("missing-field diagnostic carried no suggested fix")
+	}
+}
+
+func TestFaultscope(t *testing.T) {
+	analysistest.Run(t, "testdata", faultscope.Analyzer, "fsfix/use")
+}
+
+func TestFaultscopeExemptsRegistry(t *testing.T) {
+	// The registry package declares scopes as literals by definition; the
+	// analyzer must stay silent there.
+	diags, _ := analysistest.Run(t, "testdata", faultscope.Analyzer, "fsfix/internal/faults")
+	if len(diags) != 0 {
+		t.Errorf("registry package produced %d diagnostics, want 0", len(diags))
+	}
+}
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hotfix/a")
+}
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "gbfix/a")
+}
+
+func TestHTTPErr(t *testing.T) {
+	diags, _ := analysistest.Run(t, "testdata", httperr.Analyzer, "httpfix/a")
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %d, want 2", len(diags))
+	}
+	wantFixes := []string{
+		`writeError(w, http.StatusInternalServerError, "internal", err)`,
+		`writeError(w, http.StatusBadRequest, "internal", errors.New("boom"))`,
+	}
+	for i, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			t.Errorf("diagnostic %d carried no fix", i)
+			continue
+		}
+		if got := string(d.SuggestedFixes[0].TextEdits[0].NewText); got != wantFixes[i] {
+			t.Errorf("fix %d = %q, want %q", i, got, wantFixes[i])
+		}
+	}
+}
+
+// TestRepoClean is the zero-findings smoke test: the multichecker's own
+// load path over the live repository, every analyzer, no diagnostics.
+// This is the same invariant CI gates on with `go run ./cmd/muzzlelint`.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := load.Load(".", "muzzle/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern matched too little", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Fatalf("%s: type error: %v", p.ImportPath, e)
+		}
+		for _, a := range lint.All() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				t.Errorf("%s: [%s] %s", p.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s: %s: %v", a.Name, p.ImportPath, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package load type-checks Go packages for the lint driver without
+// golang.org/x/tools/go/packages. It shells out to `go list -e -export
+// -deps -test -json`, which both enumerates the dependency closure and —
+// crucially — compiles it, leaving gc export data in the build cache. Each
+// analyzed package's sources are then parsed with go/parser and
+// type-checked with go/types against an importer that reads that export
+// data, so the loader never re-type-checks dependencies from source.
+//
+// Test variants are first-class: `go list -test` emits "p [p.test]"
+// entries whose GoFiles merge production and in-package test files, and
+// external test packages ("p_test") carry an ImportMap redirecting their
+// production import back to the test variant. Synthesized ".test" mains
+// are skipped — their only file is a generated _testmain.go.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// ImportPath as reported by go list; test variants look like
+	// "muzzle/internal/cache [muzzle/internal/cache.test]".
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds any type-check errors (the package is still
+	// returned best-effort; drivers decide whether to analyze it).
+	TypeErrors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir and returns a type-checked Package for every
+// non-standard-library package belonging to the module rooted at dir,
+// including in-package and external test variants. Dependencies are
+// imported from gc export data, not re-checked.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=Dir,ImportPath,Name,Standard,Export,GoFiles,CgoFiles,ImportMap,Module,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+
+	var all []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		all = append(all, lp)
+	}
+
+	// Export data index: ImportPath (including bracketed test-variant
+	// paths) -> export file.
+	exports := make(map[string]string, len(all))
+	for _, lp := range all {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	// An in-package test variant "p [p.test]" carries the production files
+	// plus the _test.go files, so when one exists the plain "p" entry is a
+	// strict subset — analyzing both would double-report every production
+	// finding.
+	superseded := make(map[string]bool)
+	for _, lp := range all {
+		if i := strings.IndexByte(lp.ImportPath, ' '); i >= 0 && !strings.HasSuffix(lp.ImportPath[:i], "_test") {
+			superseded[lp.ImportPath[:i]] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range all {
+		if !analyzable(lp) || superseded[lp.ImportPath] {
+			continue
+		}
+		p, err := check(fset, lp, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// analyzable reports whether lp is a package we lint: a module-local
+// package (any test variant included) that is neither a synthesized
+// ".test" main nor standard library.
+func analyzable(lp *listPackage) bool {
+	if lp.Standard || lp.Module == nil || len(lp.GoFiles) == 0 {
+		return false
+	}
+	if len(lp.CgoFiles) > 0 {
+		// No cgo in this repo; if it ever appears, skip rather than
+		// feed half a package to the type checker.
+		return false
+	}
+	// "muzzle/internal/cache.test" mains exist only as generated
+	// _testmain.go files in the build cache.
+	if lp.Name == "main" && strings.HasSuffix(lp.ImportPath, ".test") {
+		return false
+	}
+	return true
+}
+
+// check parses and type-checks one listed package against export data.
+func check(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !strings.HasPrefix(path, "/") {
+			path = lp.Dir + "/" + name
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+
+	p := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		// The gc importer resolves paths through lookup, so each package
+		// needs its own importer when ImportMap is non-trivial.
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Strip the " [p.test]" decoration: types.Package paths should be the
+	// plain import path so analyzers comparing Pkg.Path() see "muzzle/...".
+	plain := lp.ImportPath
+	if i := strings.IndexByte(plain, ' '); i >= 0 {
+		plain = plain[:i]
+	}
+	tpkg, err := conf.Check(plain, fset, files, p.Info)
+	if err != nil && len(p.TypeErrors) == 0 {
+		p.TypeErrors = append(p.TypeErrors, err)
+	}
+	p.Types = tpkg
+	return p, nil
+}

@@ -1,0 +1,20 @@
+// Package circuit is a fixture stand-in for the real circuit package: a
+// struct the key encoder hashes, with one field deliberately left out of
+// the hash (Label), one waived (Trace), and one covered (the rest).
+package circuit
+
+// Gate is a hashed struct.
+type Gate struct {
+	Name   string
+	Qubits []int
+	Cbit   int
+	Label  string  // never hashed, never waived: the analyzer must flag it
+	Trace  string  // waived in the ckey fixture
+	weight float64 // unexported: out of scope
+}
+
+// Circuit is a second hashed struct, fully covered.
+type Circuit struct {
+	Name  string
+	Gates []Gate
+}

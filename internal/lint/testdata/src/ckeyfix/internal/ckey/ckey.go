@@ -1,0 +1,27 @@
+// Package ckey is the fixture key encoder: its import path ends in
+// "internal/ckey", which activates the cachekey analyzer.
+package ckey
+
+import "ckeyfix/internal/circuit"
+
+//ckey:ignore circuit.Gate.Trace debug trace tag, never affects results
+//ckey:ignore circuit.Circuit.Name already hashed // want `stale //ckey:ignore circuit.Circuit.Name`
+//ckey:ignore circuit.Gate.Missing no such field // want `names no exported field`
+
+// Key hashes everything result-affecting. Gate.Label is read nowhere, so
+// the analyzer reports it at the last Gate selector below.
+func Key(c *circuit.Circuit) string {
+	out := ""
+	writeString(c.Name)
+	for _, g := range c.Gates {
+		writeString(g.Name)
+		writeInt(g.Cbit)
+		for _, q := range g.Qubits { // want `exported field circuit.Gate.Label is not written into the cache key`
+			writeInt(q)
+		}
+	}
+	return out
+}
+
+func writeString(s string) {}
+func writeInt(v int)       {}

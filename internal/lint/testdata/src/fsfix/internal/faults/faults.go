@@ -1,0 +1,34 @@
+// Package faults is the fixture registry: its import path ends in
+// "internal/faults", so the faultscope analyzer treats its constants as
+// the canonical scopes and exempts the package itself.
+package faults
+
+// Op is the operation class a rule matches.
+type Op string
+
+// Operation constants.
+const (
+	OpRead  Op = "read"
+	OpWrite Op = "write"
+)
+
+// Registered scopes.
+const (
+	ScopeDisk = "disk"
+	ScopeNet  = "net"
+)
+
+// Rule arms one scope.
+type Rule struct {
+	Scope string
+	Op    Op
+}
+
+// Check is the injection hook.
+func Check(scope string, op Op) error { return nil }
+
+// CheckWrite is the write-mutation hook.
+func CheckWrite(scope string, data []byte) ([]byte, error) { return data, nil }
+
+// RoundTripper wraps a transport with injection under scope.
+func RoundTripper(scope string, rt any) any { return rt }

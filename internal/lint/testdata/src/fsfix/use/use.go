@@ -1,0 +1,46 @@
+// Package use exercises every faultscope sink, both compliant and not.
+package use
+
+import "fsfix/internal/faults"
+
+// localScope is a constant declared outside the registry: plumbing it into
+// a sink is exactly the decentralization the analyzer forbids.
+const localScope = "rogue"
+
+// Options mirrors the repo's config-plumbing shape.
+type Options struct {
+	FaultScope    string
+	DirFaultScope string
+}
+
+// Dir mirrors sweep.Dir.
+type Dir struct{ scope string }
+
+// SetFaultScope mirrors the sweep.Dir method the analyzer watches.
+func (d *Dir) SetFaultScope(scope string) { d.scope = scope }
+
+func ok(opt Options, d *Dir) {
+	_ = faults.Check(faults.ScopeDisk, faults.OpRead)    // registry constant
+	_ = faults.Check(opt.FaultScope, faults.OpWrite)     // plumbed variable
+	_ = faults.Check("", faults.OpRead)                  // empty disables injection
+	_, _ = faults.CheckWrite(faults.ScopeDisk+".a", nil) // derived from a registry constant
+	_ = faults.RoundTripper(faults.ScopeNet, nil)        // registry constant
+	_ = faults.Rule{Scope: faults.ScopeDisk, Op: faults.OpWrite}
+	d.SetFaultScope(faults.ScopeDisk)
+	_ = Options{FaultScope: opt.DirFaultScope}
+}
+
+func bad(opt Options, d *Dir) {
+	_ = faults.Check("typo.scope", faults.OpRead)  // want `faults.Check scope is the string literal "typo.scope"`
+	_ = faults.Check(localScope, faults.OpRead)    // want `constant localScope declared outside`
+	_ = faults.Check(faults.ScopeDisk, "readd")    // want `faults.Check op is the literal "readd"`
+	_, _ = faults.CheckWrite("wal.oops", nil)      // want `faults.CheckWrite scope is the string literal "wal.oops"`
+	_ = faults.RoundTripper("net.oops", nil)       // want `faults.RoundTripper scope is the string literal "net.oops"`
+	_ = faults.Rule{Scope: "rule.oops"}            // want `Scope field is the string literal "rule.oops"`
+	d.SetFaultScope("set.oops")                    // want `SetFaultScope argument is the string literal "set.oops"`
+	_ = Options{FaultScope: "opt.oops"}            // want `FaultScope field is the string literal "opt.oops"`
+	opt.DirFaultScope = "dir.oops"                 // want `assignment to DirFaultScope is the string literal "dir.oops"`
+	_, _ = faults.CheckWrite("pre."+suffix(), nil) // want `faults.CheckWrite scope is built without any`
+}
+
+func suffix() string { return "x" }

@@ -1,0 +1,51 @@
+// Package a exercises every hotpath construct class, plus the allowed
+// arena idioms that must not fire.
+package a
+
+import "fmt"
+
+type state struct {
+	buf  []int
+	seen []bool
+}
+
+//muzzle:hotpath
+func hot(s *state, n int) error {
+	m := map[int]int{1: 2} // want `allocates a map literal`
+	_ = m
+	sl := []int{1, 2, 3} // want `allocates a slice literal`
+	_ = sl
+	mm := make(map[int]int) // want `allocates with make\(map\)`
+	_ = mm
+	ch := make(chan int) // want `allocates with make\(chan\)`
+	_ = ch
+	f := func() int { return n } // want `closure capturing local variables`
+	_ = f
+	fmt.Println(n) // want `calls fmt.Println outside a return statement`
+	var grow []int
+	for i := 0; i < n; i++ {
+		grow = append(grow, i) // want `grows unsized slice grow with append inside a loop`
+	}
+	_ = grow
+	var x any = n // no diagnostic: implicit, not an explicit conversion
+	_ = x
+	if n < 0 {
+		_ = any(n) // want `converts int to interface`
+	}
+	// Allowed: sized make, arena-style append, fmt in a return.
+	arena := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		arena = append(arena, i)
+	}
+	s.buf = arena
+	if n > 1<<20 {
+		return fmt.Errorf("n too large: %d", n)
+	}
+	return nil
+}
+
+// cold is unannotated: the same constructs pass without comment.
+func cold(n int) map[int]int {
+	fmt.Println(n)
+	return map[int]int{1: 2}
+}

@@ -1,0 +1,25 @@
+// Package a exercises the httperr check and its rewrite fix.
+package a
+
+import (
+	"errors"
+	"net/http"
+)
+
+type apiError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {}
+
+// writeError is the structured helper the fix rewrites to.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, apiError{Code: code, Error: err.Error()})
+}
+
+func handle(w http.ResponseWriter, r *http.Request, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError) // want `naked http.Error sends text/plain`
+	http.Error(w, "boom", http.StatusBadRequest)               // want `naked http.Error sends text/plain`
+	writeError(w, http.StatusBadRequest, "bad_request", errors.New("fine"))
+}

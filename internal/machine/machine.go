@@ -152,6 +152,8 @@ type State struct {
 }
 
 // record appends one op to the trace, keeping the per-kind counters in sync.
+//
+//muzzle:hotpath
 func (s *State) record(o Op) {
 	s.ops = append(s.ops, o)
 	s.counts[o.Kind]++

@@ -79,6 +79,8 @@ const expandCacheSize = 16
 // SubmitCell validates a cell request and enqueues it as a single-cell job
 // on the shared bounded queue. Validation failures are *RequestError
 // (HTTP 400); admission rejections are ErrQueueFull (429 + Retry-After).
+//
+//muzzle:nolock the job is newly built and unshared until enqueue publishes it
 func (m *Manager) SubmitCell(req CellRequest) (JobView, error) {
 	e, err := m.expandCellGrid(req.Grid)
 	if err != nil {

@@ -61,6 +61,8 @@ type storedOutcome struct {
 // journalSubmit appends a job's durable submission record. Unlike the
 // transition appends it is fallible to the caller: a submission that
 // cannot be made durable is rejected, not half-accepted.
+//
+//muzzle:nolock the job is newly built and unshared until enqueue publishes it
 func (m *Manager) journalSubmit(j *job) error {
 	if m.cfg.Journal == nil {
 		return nil
@@ -144,6 +146,8 @@ func (m *Manager) journalFinal(j *job, state State, errText string) {
 // in their original submission order. Re-running recovered work is
 // idempotent: completed circuits and sweep cells resolve through the
 // content-addressed cache instead of recompiling.
+//
+//muzzle:nolock runs during New, before workers or handlers exist
 func (m *Manager) recoverJobs() []*job {
 	if m.cfg.Journal == nil {
 		return nil

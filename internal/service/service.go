@@ -98,21 +98,21 @@ type Manager struct {
 	wg      sync.WaitGroup
 
 	mu        sync.Mutex
-	jobs      map[string]*job
-	terminal  []string // terminal job ids, oldest first, for retention
-	closed    bool
-	draining  bool
-	submitted uint64
-	rejected  uint64
-	recovered uint64
-	storeErrs uint64
-	panics    uint64
+	jobs      map[string]*job // guarded by mu
+	terminal  []string        // guarded by mu; terminal job ids, oldest first, for retention
+	closed    bool            // guarded by mu
+	draining  bool            // guarded by mu
+	submitted uint64          // guarded by mu
+	rejected  uint64          // guarded by mu
+	recovered uint64          // guarded by mu
+	storeErrs uint64          // guarded by mu
+	panics    uint64          // guarded by mu
 
 	// Expansion cache for POST /v1/cells: one coordinator sends many
 	// cells of the same grid, each carrying the full grid JSON.
 	expMu    sync.Mutex
-	expCache map[string]*sweep.Expanded
-	expOrder []string
+	expCache map[string]*sweep.Expanded // guarded by expMu
+	expOrder []string                   // guarded by expMu
 
 	hostname string
 	latency  *Histogram

@@ -14,6 +14,8 @@ import (
 // combinations — are rejected up front as *RequestError (HTTP 400);
 // nothing a client submits can crash a worker. The expanded grid is kept
 // on the job, so topology construction happens once per submission.
+//
+//muzzle:nolock the job is newly built and unshared until enqueue publishes it
 func (m *Manager) SubmitSweep(g sweep.Grid) (JobView, error) {
 	e, err := sweep.Expand(g)
 	if err != nil {

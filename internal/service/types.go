@@ -161,19 +161,19 @@ type job struct {
 	cellIndex int             // cell jobs: which cell of the expanded grid to run
 
 	mu           sync.Mutex
-	state        State
-	created      time.Time
-	started      *time.Time
-	finished     *time.Time
-	total, done  int
-	errText      string
-	results      []*muzzle.EvalResultJSON
-	report       *sweep.Report     // sweep jobs: aggregated report once the run ends
-	cell         *sweep.CellReport // cell jobs: the single cell's report
-	events       []Event
-	subs         map[chan Event]struct{}
-	cancel       context.CancelFunc
-	userCanceled bool // set by Cancel: distinguishes a client's cancel (journaled,
+	state        State                    // guarded by mu
+	created      time.Time                // guarded by mu
+	started      *time.Time               // guarded by mu
+	finished     *time.Time               // guarded by mu
+	total, done  int                      // guarded by mu
+	errText      string                   // guarded by mu
+	results      []*muzzle.EvalResultJSON // guarded by mu
+	report       *sweep.Report            // guarded by mu; sweep jobs: aggregated report once the run ends
+	cell         *sweep.CellReport        // guarded by mu; cell jobs: the single cell's report
+	events       []Event                  // guarded by mu
+	subs         map[chan Event]struct{}  // guarded by mu
+	cancel       context.CancelFunc       // guarded by mu
+	userCanceled bool                     // guarded by mu; set by Cancel: distinguishes a client's cancel (journaled,
 	// never resurrected) from shutdown cancellation (not journaled, so the
 	// next process recovers the job as pending)
 }

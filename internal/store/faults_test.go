@@ -101,12 +101,12 @@ func TestMidFileCorruptionStopsAtLastValidRecord(t *testing.T) {
 // frame.
 func TestTornAppendIsRepaired(t *testing.T) {
 	inj := faults.New(13, faults.Rule{
-		Scope: "test.wal", Kind: faults.KindTorn, After: 2, Count: 1,
+		Scope: faults.ScopeStoreWAL, Kind: faults.KindTorn, After: 2, Count: 1,
 	})
 	defer faults.Install(inj)()
 
 	dir := t.TempDir()
-	j, err := Open(dir, Options{FaultScope: "test.wal"})
+	j, err := Open(dir, Options{FaultScope: faults.ScopeStoreWAL})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,13 +147,13 @@ func TestTornAppendIsRepaired(t *testing.T) {
 // leave the journal consistent.
 func TestInjectedENOSPCAndFsyncFailures(t *testing.T) {
 	inj := faults.New(17,
-		faults.Rule{Scope: "test.wal2", Op: faults.OpWrite, Kind: faults.KindENOSPC, After: 1, Count: 1},
-		faults.Rule{Scope: "test.wal2", Op: faults.OpSync, After: 1, Count: 1},
+		faults.Rule{Scope: faults.ScopeStoreWALSpace, Op: faults.OpWrite, Kind: faults.KindENOSPC, After: 1, Count: 1},
+		faults.Rule{Scope: faults.ScopeStoreWALSpace, Op: faults.OpSync, After: 1, Count: 1},
 	)
 	defer faults.Install(inj)()
 
 	dir := t.TempDir()
-	j, err := Open(dir, Options{FaultScope: "test.wal2"})
+	j, err := Open(dir, Options{FaultScope: faults.ScopeStoreWALSpace})
 	if err != nil {
 		t.Fatal(err)
 	}

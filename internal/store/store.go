@@ -157,13 +157,13 @@ type Journal struct {
 	opts Options
 
 	mu           sync.Mutex
-	f            *os.File
-	seq          uint64
-	jobs         map[string]*JobState
-	order        []string // submission order, for deterministic recovery + retention
-	sinceCompact int
-	closed       bool
-	stats        Stats
+	f            *os.File             // guarded by mu
+	seq          uint64               // guarded by mu
+	jobs         map[string]*JobState // guarded by mu
+	order        []string             // guarded by mu; submission order, for deterministic recovery + retention
+	sinceCompact int                  // guarded by mu
+	closed       bool                 // guarded by mu
+	stats        Stats                // guarded by mu
 }
 
 // Open creates or replays the journal under dir, creating the directory if
@@ -198,6 +198,8 @@ func (j *Journal) snapshotPath() string { return filepath.Join(j.dir, "snapshot.
 // that fails to parse is fatal: unlike a torn WAL tail (expected under
 // crash), a corrupt snapshot means the atomic rename contract was violated
 // and silently dropping it would resurrect canceled work.
+//
+//muzzle:nolock runs during Open, before the journal is shared
 func (j *Journal) loadSnapshot() error {
 	data, err := os.ReadFile(j.snapshotPath())
 	if errors.Is(err, os.ErrNotExist) {
@@ -220,6 +222,8 @@ func (j *Journal) loadSnapshot() error {
 
 // replayWAL applies every intact frame in wal.log, truncating at the first
 // torn or corrupt one.
+//
+//muzzle:nolock runs during Open, before the journal is shared
 func (j *Journal) replayWAL() error {
 	f, err := os.Open(j.walPath())
 	if errors.Is(err, os.ErrNotExist) {
@@ -274,6 +278,8 @@ func (j *Journal) replayWAL() error {
 }
 
 // apply folds one record into the in-memory job table.
+//
+//muzzle:locked callers hold j.mu (Append) or own the journal exclusively (replayWAL)
 func (j *Journal) apply(rec *Record) {
 	switch rec.Kind {
 	case "submit":

@@ -28,7 +28,7 @@ func TestPersistUnderInjectedFaults(t *testing.T) {
 			}
 			name := string(kind) + "/" + string(op)
 			t.Run(name, func(t *testing.T) {
-				inj := faults.New(3, faults.Rule{Scope: "t.dir", Op: op, Kind: kind, Count: 1})
+				inj := faults.New(3, faults.Rule{Scope: faults.ScopeSweepDir, Op: op, Kind: kind, Count: 1})
 				restore := faults.Install(inj)
 				defer restore()
 
@@ -37,7 +37,7 @@ func TestPersistUnderInjectedFaults(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				d.SetFaultScope("t.dir")
+				d.SetFaultScope(faults.ScopeSweepDir)
 				if err := d.Persist(fakeReport(e, 0)); !errors.Is(err, faults.ErrInjected) {
 					t.Fatalf("Persist under %s = %v, want injected", name, err)
 				}

@@ -143,6 +143,8 @@ func (t *Topology) Distance(a, b int) int { return t.dist[a][b] }
 // NextHop returns the neighbor of src on a shortest path toward dst, or -1
 // if src == dst. When several shortest paths exist, the lowest-numbered
 // neighbor discovered by BFS is returned deterministically.
+//
+//muzzle:hotpath
 func (t *Topology) NextHop(src, dst int) int {
 	if src == dst {
 		return -1
@@ -154,6 +156,8 @@ func (t *Topology) NextHop(src, dst int) int {
 // path. The path is precomputed at construction time, so the call is O(1)
 // and allocation-free; the returned slice is shared and must not be
 // modified.
+//
+//muzzle:hotpath
 func (t *Topology) Path(src, dst int) []int {
 	return t.paths[src][dst]
 }
