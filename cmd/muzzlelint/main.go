@@ -1,14 +1,21 @@
 // Command muzzlelint runs the repo's custom analyzer suite (internal/lint)
 // over Go packages. Two modes:
 //
-// Standalone, for CI and local use:
+// Standalone, for CI and local use — this mode builds the whole-program
+// call graph the interprocedural analyzers (allocflow, ctxflow, lockorder)
+// consume:
 //
 //	go run ./cmd/muzzlelint ./...
-//	go run ./cmd/muzzlelint -fix ./internal/service
+//	go run ./cmd/muzzlelint -stats ./...
+//	go run ./cmd/muzzlelint -fix ./internal/service      # dry-run diff
+//	go run ./cmd/muzzlelint -fix -w ./internal/service   # apply in place
 //
 // As a vet tool, which lets `go vet` drive it incrementally through the
 // build cache using the unitchecker protocol (-V=full handshake, -flags
-// enumeration, then one .cfg file per package):
+// enumeration, then one .cfg file per package). In this mode each package
+// is analyzed in isolation, so the call graph covers only the current
+// package and the interprocedural analyzers degrade to their
+// intra-package subset:
 //
 //	go build -o muzzlelint ./cmd/muzzlelint
 //	go vet -vettool=$PWD/muzzlelint ./...
@@ -29,9 +36,12 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"muzzle/internal/lint"
 	"muzzle/internal/lint/analysis"
+	"muzzle/internal/lint/callgraph"
+	"muzzle/internal/lint/fixer"
 	"muzzle/internal/lint/load"
 )
 
@@ -41,19 +51,23 @@ func main() {
 	for _, arg := range os.Args[1:] {
 		if arg == "-V=full" {
 			// Hex suffix doubles as the protocol's cache-busting build ID.
-			fmt.Printf("%s version devel comments-go-here buildID=muzzlelint-1\n", os.Args[0])
+			fmt.Printf("%s version devel comments-go-here buildID=muzzlelint-2\n", os.Args[0])
 			return
 		}
 		if arg == "-flags" {
 			// Flags vet is allowed to forward to us.
-			fmt.Println(`[{"Name":"fix","Bool":true,"Usage":"apply suggested fixes"}]`)
+			fmt.Println(`[{"Name":"fix","Bool":true,"Usage":"preview suggested fixes as a diff"},` +
+				`{"Name":"w","Bool":true,"Usage":"with -fix, apply fixes in place"},` +
+				`{"Name":"stats","Bool":true,"Usage":"print per-analyzer finding counts and wall time"}]`)
 			return
 		}
 	}
 
-	fix := flag.Bool("fix", false, "apply suggested fixes to source files")
+	fix := flag.Bool("fix", false, "preview suggested fixes as a dry-run diff")
+	write := flag.Bool("w", false, "with -fix, apply the fixes in place instead of previewing")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts and wall time")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: muzzlelint [-fix] <packages>\n       muzzlelint <package>.cfg  (vet unitchecker mode)\n")
+		fmt.Fprintf(os.Stderr, "usage: muzzlelint [-fix [-w]] [-stats] <packages>\n       muzzlelint <package>.cfg  (vet unitchecker mode)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,7 +79,7 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(standalone(args, *fix))
+	os.Exit(standalone(args, *fix, *write, *stats))
 }
 
 // finding pairs a diagnostic with the package whose pass produced it so
@@ -76,12 +90,32 @@ type finding struct {
 	diag     analysis.Diagnostic
 }
 
-func standalone(patterns []string, fix bool) int {
+func standalone(patterns []string, fix, write, stats bool) int {
 	pkgs, err := load.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "muzzlelint:", err)
 		return 2
 	}
+
+	// One whole-program call graph across every loaded package: the loader
+	// shares a FileSet, so the units compose directly. Packages with type
+	// errors abort below anyway, but keep the graph clean of them.
+	var units []*callgraph.Unit
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			continue
+		}
+		fset = p.Fset
+		units = append(units, &callgraph.Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info})
+	}
+	var prog *callgraph.Program
+	if fset != nil {
+		prog = callgraph.Build(fset, units)
+	}
+
+	counts := map[string]int{}
+	elapsed := map[string]time.Duration{}
 	var findings []finding
 	for _, p := range pkgs {
 		if len(p.TypeErrors) > 0 {
@@ -97,14 +131,27 @@ func standalone(patterns []string, fix bool) int {
 				Files:     p.Files,
 				Pkg:       p.Types,
 				TypesInfo: p.Info,
+				Program:   prog,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
+				counts[a.Name]++
 				findings = append(findings, finding{a.Name, p.Fset, d})
 			}
+			t0 := time.Now()
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "muzzlelint: %s: %s: %v\n", a.Name, p.ImportPath, err)
 				return 2
 			}
+			elapsed[a.Name] += time.Since(t0)
+		}
+	}
+
+	if stats {
+		// Stats go to stdout so CI can append them to the job summary while
+		// findings stay on stderr.
+		fmt.Printf("%-12s %8s %12s\n", "analyzer", "findings", "wall")
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %8d %12s\n", a.Name, counts[a.Name], elapsed[a.Name].Round(time.Microsecond))
 		}
 	}
 	if len(findings) == 0 {
@@ -121,56 +168,30 @@ func standalone(patterns []string, fix bool) int {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.fset.Position(f.diag.Pos), f.analyzer, f.diag.Message)
 	}
 	if fix {
-		if err := applyFixes(findings); err != nil {
-			fmt.Fprintln(os.Stderr, "muzzlelint: applying fixes:", err)
-			return 2
+		var diags []analysis.Diagnostic
+		for _, f := range findings {
+			diags = append(diags, f.diag)
+		}
+		edits := fixer.Collect(findings[0].fset, diags)
+		switch {
+		case len(edits) == 0:
+			fmt.Fprintln(os.Stderr, "muzzlelint: no suggested fixes to apply")
+		case write:
+			applied, files, err := fixer.Apply(edits)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "muzzlelint: applying fixes:", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "muzzlelint: applied %d fix edit(s) across %d file(s)\n", applied, files)
+		default:
+			if err := fixer.Diff(os.Stderr, edits); err != nil {
+				fmt.Fprintln(os.Stderr, "muzzlelint: rendering fix diff:", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "muzzlelint: %d fix edit(s) available; rerun with -fix -w to apply\n", len(edits))
 		}
 	}
 	return 1
-}
-
-// applyFixes rewrites source files with each finding's first suggested
-// fix, applying edits per file from the end backward so earlier offsets
-// stay valid. Overlapping edits are skipped.
-func applyFixes(findings []finding) error {
-	type edit struct {
-		start, end int
-		text       []byte
-	}
-	perFile := map[string][]edit{}
-	for _, f := range findings {
-		if len(f.diag.SuggestedFixes) == 0 {
-			continue
-		}
-		for _, te := range f.diag.SuggestedFixes[0].TextEdits {
-			pos := f.fset.Position(te.Pos)
-			end := pos.Offset
-			if te.End.IsValid() {
-				end = f.fset.Position(te.End).Offset
-			}
-			perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end, te.NewText})
-		}
-	}
-	for file, edits := range perFile {
-		src, err := os.ReadFile(file)
-		if err != nil {
-			return err
-		}
-		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
-		prev := len(src) + 1
-		for _, e := range edits {
-			if e.end > prev || e.end > len(src) {
-				continue // overlapping or stale edit
-			}
-			src = append(src[:e.start], append(e.text, src[e.end:]...)...)
-			prev = e.start
-		}
-		if err := os.WriteFile(file, src, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "muzzlelint: fixed %s\n", file)
-	}
-	return nil
 }
 
 // vetConfig is the subset of vet's unitchecker .cfg file we consume.
@@ -251,6 +272,11 @@ func unitcheck(cfgPath string) int {
 		return 2
 	}
 
+	// Single-unit call graph: only this package's bodies are visible, so
+	// the interprocedural analyzers check what they can see and skip
+	// cross-package propagation (documented degradation of vet mode).
+	prog := callgraph.Build(fset, []*callgraph.Unit{{Fset: fset, Files: files, Pkg: pkg, Info: info}})
+
 	exit := 0
 	for _, a := range lint.All() {
 		pass := &analysis.Pass{
@@ -259,6 +285,7 @@ func unitcheck(cfgPath string) int {
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Program:   prog,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)

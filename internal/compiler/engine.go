@@ -103,6 +103,8 @@ func (c *Compiler) maxRebalanceDepth() int {
 
 // Compile decomposes circ to the native gate set, computes a greedy initial
 // placement, and schedules the program.
+//
+//muzzle:ctx-background legacy ctx-less API; cancelable callers use CompileContext
 func (c *Compiler) Compile(circ *circuit.Circuit, cfg machine.Config) (*Result, error) {
 	return c.CompileContext(context.Background(), circ, cfg)
 }
@@ -123,6 +125,8 @@ func (c *Compiler) CompileContext(ctx context.Context, circ *circuit.Circuit, cf
 
 // CompileMapped schedules an already-native circuit from an explicit initial
 // placement. placement[t] lists the ions (== qubit ids) initially in trap t.
+//
+//muzzle:ctx-background legacy ctx-less API; cancelable callers use CompileMappedContext
 func (c *Compiler) CompileMapped(native *circuit.Circuit, cfg machine.Config, placement [][]int) (*Result, error) {
 	return c.CompileMappedContext(context.Background(), native, cfg, placement)
 }

@@ -234,6 +234,8 @@ func CutWeight(c *circuit.Circuit, cfg machine.Config, placement [][]int) int {
 
 // CompileWithMapper runs the compiler using an explicit placement policy
 // instead of the default greedy mapping.
+//
+//muzzle:ctx-background legacy ctx-less API; cancelable callers use CompileWithMapperContext
 func (c *Compiler) CompileWithMapper(circ *circuit.Circuit, cfg machine.Config, mapper Placement) (*Result, error) {
 	return c.CompileWithMapperContext(context.Background(), circ, cfg, mapper)
 }

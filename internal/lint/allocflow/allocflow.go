@@ -1,0 +1,188 @@
+// Package allocflow is the interprocedural second tier behind hotpath: a
+// //muzzle:hotpath function must not *transitively* reach an allocating
+// function. hotpath (tier 1) scans the annotated body itself; allocflow
+// runs the same construct scanner (hotpath.Scan) over every function in
+// the program, propagates "may-allocate" verdicts bottom-up over the call
+// graph, and flags each call site in a hotpath function whose callee's
+// summary says the allocation-free guarantee is broken somewhere below.
+//
+// Soundness boundary, stated plainly:
+//
+//   - dynamic call sites (interface dispatch, func-typed fields, escaped
+//     function variables — the call graph's ⊤) are ignored; the repo's hot
+//     loops are direct-call by construction and a ⊤-is-anything rule would
+//     drown the signal
+//   - callees outside the program (standard library) are ignored; the
+//     scanner already flags the one stdlib surface that matters (fmt)
+//   - callees themselves annotated //muzzle:hotpath are trusted clean —
+//     tier 1 checks their bodies directly, so re-deriving their verdict
+//     here would only double-report
+//
+// A cold-path helper that legitimately allocates may be waived with
+// `//muzzle:allocok <reason>` in its doc comment; the waiver zeroes its
+// summary so callers stay quiet. A waiver without a reason is a finding,
+// and so is a stale waiver on a function that no longer allocates.
+package allocflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"muzzle/internal/lint/analysis"
+	"muzzle/internal/lint/callgraph"
+	"muzzle/internal/lint/hotpath"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "allocflow",
+	Doc: "flag //muzzle:hotpath functions that transitively reach an allocating function\n\n" +
+		"Per-function may-allocate summaries (derived with the hotpath construct\n" +
+		"scanner) propagate bottom-up over the whole-program call graph; a call in a\n" +
+		"hotpath function to a may-allocate callee is a finding at the call site,\n" +
+		"with the allocation chain in the message. Waive a deliberate cold-path\n" +
+		"allocation with //muzzle:allocok <reason>.",
+	Run: run,
+}
+
+// summary is one function's may-allocate verdict.
+type summary struct {
+	// may: allocates directly or via some static module-local callee,
+	// before waivers on the function itself are applied.
+	may bool
+	// what/pos: the direct evidence (first construct hotpath.Scan found).
+	what string
+	pos  token.Pos
+	// via: when the evidence is inherited, the first may-allocate callee.
+	via string
+	// waived: //muzzle:allocok present (with or without reason).
+	waived bool
+	// reason: the waiver's argument.
+	reason string
+	// hot: //muzzle:hotpath present (trusted clean as a callee).
+	hot bool
+}
+
+// effMay is the verdict callers inherit.
+func (s *summary) effMay() bool { return s != nil && s.may && !s.waived && !s.hot }
+
+// summaries computes (once per Program, memoized) the whole-program
+// fixpoint: may[n] = direct evidence ∨ ∃ static module-local callee c with
+// effMay(c).
+func summaries(prog *callgraph.Program) map[string]*summary {
+	return prog.Memo("allocflow", func() any {
+		sums := make(map[string]*summary, len(prog.Nodes))
+		for _, n := range prog.Nodes {
+			s := &summary{hot: analysis.HasDirective(n.Decl.Doc, "muzzle:hotpath")}
+			if arg, ok := analysis.Directive(n.Decl.Doc, "muzzle:allocok"); ok {
+				s.waived, s.reason = true, arg
+			}
+			hotpath.Scan(n.Unit.Info, n.Decl, func(pos token.Pos, what string) {
+				if !s.may {
+					s.may, s.pos, s.what = true, pos, what
+				}
+			})
+			sums[n.ID] = s
+		}
+		// Monotone fixpoint; iterate to handle cycles and arbitrary node
+		// order. Depth of real call chains is small, so this converges in a
+		// handful of rounds.
+		for changed := true; changed; {
+			changed = false
+			for _, n := range prog.Nodes {
+				s := sums[n.ID]
+				if s.may {
+					continue
+				}
+				for _, e := range n.Out {
+					if c := sums[e.CalleeID]; c.effMay() {
+						s.may, s.via = true, e.CalleeID
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		return sums
+	}).(map[string]*summary)
+}
+
+func run(pass *analysis.Pass) error {
+	prog := pass.Program
+	if prog == nil {
+		return nil // no call graph (bare vet unit): nothing to propagate
+	}
+	sums := summaries(prog)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			n := prog.Node(callgraph.FuncID(funcOf(pass, fd)))
+			if n == nil {
+				continue
+			}
+			s := sums[n.ID]
+			if s.waived {
+				if s.reason == "" {
+					pass.Reportf(fd.Pos(), "muzzle:allocok waiver on %s is missing a reason", fd.Name.Name)
+				}
+				if !s.may {
+					pass.Reportf(fd.Pos(), "stale muzzle:allocok waiver on %s: it no longer allocates, directly or transitively", fd.Name.Name)
+				}
+			}
+			if !s.hot {
+				continue
+			}
+			reported := map[string]bool{}
+			for _, e := range n.Out {
+				c := sums[e.CalleeID]
+				if !c.effMay() || reported[e.CalleeID] {
+					continue
+				}
+				reported[e.CalleeID] = true
+				chain, what := witness(sums, e.CalleeID)
+				pass.Reportf(e.Site, "hotpath function %s calls %s, which %s", fd.Name.Name, chain, what)
+			}
+		}
+	}
+	return nil
+}
+
+// witness renders the allocation chain from callee id down to the direct
+// evidence: "a.helper → a.build" plus the construct phrase. Cycles and
+// runaway chains are cut at 8 hops.
+func witness(sums map[string]*summary, id string) (chain, what string) {
+	var names []string
+	for hops := 0; hops < 8; hops++ {
+		names = append(names, displayName(id))
+		s := sums[id]
+		if s == nil {
+			return strings.Join(names, " → "), "may allocate"
+		}
+		if s.via == "" || s.what != "" {
+			return strings.Join(names, " → "), s.what
+		}
+		id = s.via
+	}
+	return strings.Join(names, " → "), "may allocate"
+}
+
+// displayName trims the import path directory from a FuncID:
+// "muzzle/internal/topo.Graph.Path" → "topo.Graph.Path".
+func displayName(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func funcOf(pass *analysis.Pass, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
+}

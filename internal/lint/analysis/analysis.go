@@ -19,6 +19,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"muzzle/internal/lint/callgraph"
 )
 
 // Analyzer is one invariant checker.
@@ -41,6 +43,14 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Program is the whole-program call graph when the driver built one
+	// (standalone muzzlelint, analysistest, TestRepoClean). Interprocedural
+	// analyzers (allocflow, ctxflow, lockorder) degrade gracefully when it
+	// is nil or partial — under `go vet -vettool` each unit is checked in
+	// isolation, so only the current package's bodies are in the graph and
+	// cross-package propagation is silently skipped.
+	Program *callgraph.Program
 
 	// Report receives each diagnostic. The driver sets it.
 	Report func(Diagnostic)
@@ -133,15 +143,38 @@ func Named(t types.Type) *types.Named {
 // HasDirective reports whether the doc comment group contains a line whose
 // first word (after "//") is exactly directive, e.g. "muzzle:hotpath".
 func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	_, ok := Directive(doc, directive)
+	return ok
+}
+
+// Directive finds a doc comment line whose first word (after "//") is
+// exactly directive and returns the rest of the line — the waiver reason
+// for directives like "muzzle:allocok <reason>" — with found=true. A bare
+// directive returns ("", true); callers that require a reason treat the
+// empty argument as its own finding.
+func Directive(doc *ast.CommentGroup, directive string) (arg string, found bool) {
 	if doc == nil {
-		return false
+		return "", false
 	}
 	for _, c := range doc.List {
-		text := strings.TrimPrefix(c.Text, "//")
-		text = strings.TrimSpace(text)
-		if text == directive || strings.HasPrefix(text, directive+" ") {
-			return true
+		if a, ok := DirectiveComment(c, directive); ok {
+			return a, true
 		}
 	}
-	return false
+	return "", false
+}
+
+// DirectiveComment matches a single comment against directive the way
+// Directive matches doc lines. It exists for same-line waivers
+// (`ctx := context.Background() //muzzle:ctx-background <reason>`), which
+// live in ast.File.Comments rather than any declaration's doc group.
+func DirectiveComment(c *ast.Comment, directive string) (arg string, found bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if text == directive {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(text, directive+" "); ok {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
 }

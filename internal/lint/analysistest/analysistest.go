@@ -32,6 +32,7 @@ import (
 	"testing"
 
 	"muzzle/internal/lint/analysis"
+	"muzzle/internal/lint/callgraph"
 )
 
 // Run loads each fixture package named by patterns (paths relative to
@@ -39,15 +40,38 @@ import (
 // // want comments through t. It returns all diagnostics in source order
 // plus the FileSet that renders their positions, so callers can
 // additionally assert on suggested fixes.
+//
+// All patterns (and their fixture dependencies) load before any analyzer
+// runs, and every pass carries the whole-fixture call graph — the same
+// shape the standalone driver gives the interprocedural analyzers.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) ([]analysis.Diagnostic, *token.FileSet) {
 	t.Helper()
+	return run(t, testdata, a, true, patterns...)
+}
+
+// Diagnostics is Run without the // want comparison, for tests that mutate
+// fixture copies (fix idempotency) where the comments no longer describe
+// the source.
+func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
+	return run(t, testdata, a, false, patterns...)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, checkWants bool, patterns ...string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
 	ld := newLoader(filepath.Join(testdata, "src"))
-	var all []analysis.Diagnostic
-	for _, pattern := range patterns {
+	fps := make([]*fixturePkg, len(patterns))
+	for i, pattern := range patterns {
 		fp, err := ld.load(pattern)
 		if err != nil {
 			t.Fatalf("load fixture %s: %v", pattern, err)
 		}
+		fps[i] = fp
+	}
+	prog := ld.program()
+	var all []analysis.Diagnostic
+	for i, pattern := range patterns {
+		fp := fps[i]
 		var got []analysis.Diagnostic
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -55,16 +79,49 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 			Files:     fp.files,
 			Pkg:       fp.pkg,
 			TypesInfo: fp.info,
+			Program:   prog,
 			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("%s: analyzer error: %v", pattern, err)
 		}
 		sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
-		check(t, ld.fset, fp, got)
+		if checkWants {
+			check(t, ld.fset, fp, got)
+		}
 		all = append(all, got...)
 	}
 	return all, ld.fset
+}
+
+// Program loads the fixture packages named by patterns (plus their fixture
+// dependencies) and returns the call graph over all of them, for tests
+// that assert on the graph's shape directly.
+func Program(t *testing.T, testdata string, patterns ...string) (*callgraph.Program, *token.FileSet) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, pattern := range patterns {
+		if _, err := ld.load(pattern); err != nil {
+			t.Fatalf("load fixture %s: %v", pattern, err)
+		}
+	}
+	return ld.program(), ld.fset
+}
+
+// program builds the call graph over every fixture loaded so far, in
+// deterministic (sorted import path) unit order.
+func (ld *loader) program() *callgraph.Program {
+	paths := make([]string, 0, len(ld.fixtures))
+	for p := range ld.fixtures {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	units := make([]*callgraph.Unit, 0, len(paths))
+	for _, p := range paths {
+		fp := ld.fixtures[p]
+		units = append(units, &callgraph.Unit{Fset: ld.fset, Files: fp.files, Pkg: fp.pkg, Info: fp.info})
+	}
+	return callgraph.Build(ld.fset, units)
 }
 
 // want is one expectation parsed from a // want comment.

@@ -1,0 +1,163 @@
+// Package fixer turns diagnostics' SuggestedFixes into file edits: resolve
+// them against the FileSet, render a reviewable dry-run diff, or apply
+// them in place. It is shared by `muzzlelint -fix` / `-fix -w` and by the
+// idempotency test, which asserts that one Apply pass leaves nothing for a
+// second pass to do.
+package fixer
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+
+	"muzzle/internal/lint/analysis"
+)
+
+// Edit is one resolved replacement: file[Start:End) becomes Text.
+type Edit struct {
+	File       string
+	Start, End int
+	Text       []byte
+}
+
+// Collect resolves each diagnostic's first suggested fix (the analyzers
+// emit at most one) into flat edits, sorted by file then offset.
+func Collect(fset *token.FileSet, diags []analysis.Diagnostic) []Edit {
+	var edits []Edit
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			pos := fset.Position(te.Pos)
+			end := pos.Offset
+			if te.End.IsValid() {
+				end = fset.Position(te.End).Offset
+			}
+			edits = append(edits, Edit{File: pos.Filename, Start: pos.Offset, End: end, Text: te.NewText})
+		}
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].File != edits[j].File {
+			return edits[i].File < edits[j].File
+		}
+		return edits[i].Start < edits[j].Start
+	})
+	return edits
+}
+
+// Apply rewrites the files in place, per file from the end backward so
+// earlier offsets stay valid. Overlapping or stale edits are skipped.
+// Returns the number of edits applied and files rewritten.
+func Apply(edits []Edit) (applied, files int, err error) {
+	for _, group := range perFile(edits) {
+		src, err := os.ReadFile(group[0].File)
+		if err != nil {
+			return applied, files, err
+		}
+		out, n := applyToSource(src, group)
+		if n == 0 {
+			continue
+		}
+		if err := os.WriteFile(group[0].File, out, 0o644); err != nil {
+			return applied, files, err
+		}
+		applied += n
+		files++
+	}
+	return applied, files, nil
+}
+
+// Diff writes a reviewable dry-run rendering of the edits: for each edit,
+// the spanned source lines before and after. Not a unified diff — each
+// edit stands alone with its location, which is what a human deciding
+// whether to run -w actually reads.
+func Diff(w io.Writer, edits []Edit) error {
+	src := map[string][]byte{}
+	for _, group := range perFile(edits) {
+		data, err := os.ReadFile(group[0].File)
+		if err != nil {
+			return err
+		}
+		src[group[0].File] = data
+	}
+	for _, e := range edits {
+		data := src[e.File]
+		if e.Start > len(data) || e.End > len(data) || e.Start > e.End {
+			continue
+		}
+		ls := lineStart(data, e.Start)
+		le := lineEnd(data, e.End)
+		line := 1 + bytes.Count(data[:ls], []byte("\n"))
+		fmt.Fprintf(w, "%s:%d:\n", e.File, line)
+		writePrefixed(w, "-", data[ls:le])
+		var after bytes.Buffer
+		after.Write(data[ls:e.Start])
+		after.Write(e.Text)
+		after.Write(data[e.End:le])
+		writePrefixed(w, "+", after.Bytes())
+	}
+	return nil
+}
+
+func perFile(edits []Edit) [][]Edit {
+	byFile := map[string][]Edit{}
+	var names []string
+	for _, e := range edits {
+		if _, seen := byFile[e.File]; !seen {
+			names = append(names, e.File)
+		}
+		byFile[e.File] = append(byFile[e.File], e)
+	}
+	sort.Strings(names)
+	out := make([][]Edit, 0, len(names))
+	for _, n := range names {
+		out = append(out, byFile[n])
+	}
+	return out
+}
+
+// applyToSource applies one file's edits end-to-start, skipping overlaps.
+func applyToSource(src []byte, edits []Edit) ([]byte, int) {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+	applied := 0
+	prev := len(src) + 1
+	for _, e := range edits {
+		if e.End > prev || e.End > len(src) || e.Start > e.End {
+			continue // overlapping or stale edit
+		}
+		src = append(src[:e.Start], append(append([]byte(nil), e.Text...), src[e.End:]...)...)
+		prev = e.Start
+		applied++
+	}
+	return src, applied
+}
+
+func lineStart(src []byte, off int) int {
+	if i := bytes.LastIndexByte(src[:off], '\n'); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
+func lineEnd(src []byte, off int) int {
+	if i := bytes.IndexByte(src[off:], '\n'); i >= 0 {
+		return off + i + 1
+	}
+	return len(src)
+}
+
+func writePrefixed(w io.Writer, prefix string, text []byte) {
+	for _, line := range bytes.SplitAfter(text, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s %s", prefix, line)
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -14,6 +14,12 @@
 //   - append to a bare `var x []T` inside a loop (unbounded growth;
 //     append to a make()-sized or arena-backed slice is fine)
 //
+// The construct scanner is exported as Scan so allocflow can reuse it as
+// the per-function evidence source for its interprocedural may-allocate
+// summaries: hotpath is the fast syntactic first tier over annotated
+// functions only, allocflow runs the same scanner over every function in
+// the program and propagates the verdicts up the call graph.
+//
 // The benchmarks in internal/compiler remain the ground truth for
 // allocs/op; this analyzer is the cheap always-on tripwire in front of
 // them.
@@ -47,15 +53,22 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, "muzzle:hotpath") {
 				continue
 			}
-			checkFunc(pass, fd)
+			name := fd.Name.Name
+			Scan(pass.TypesInfo, fd, func(pos token.Pos, what string) {
+				pass.Reportf(pos, "hotpath function %s %s", name, what)
+			})
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
-	bareSlices := collectBareSlices(pass, fd)
+// Scan walks fd's body and calls emit once per allocating construct with a
+// phrase describing it ("allocates a map literal", "calls fmt.Sprintf
+// outside a return statement", ...). Callers compose the full message —
+// hotpath prefixes the annotated function's name, allocflow uses the first
+// hit as the may-allocate witness for its summaries.
+func Scan(info *types.Info, fd *ast.FuncDecl, emit func(pos token.Pos, what string)) {
+	bareSlices := collectBareSlices(info, fd)
 
 	analysis.WalkStack(fd, func(n ast.Node, stack []ast.Node) bool {
 		if n == fd {
@@ -63,42 +76,42 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		switch n := n.(type) {
 		case *ast.CompositeLit:
-			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			switch info.Types[n].Type.Underlying().(type) {
 			case *types.Map:
-				pass.Reportf(n.Pos(), "hotpath function %s allocates a map literal", name)
+				emit(n.Pos(), "allocates a map literal")
 			case *types.Slice:
-				pass.Reportf(n.Pos(), "hotpath function %s allocates a slice literal", name)
+				emit(n.Pos(), "allocates a slice literal")
 			}
 		case *ast.FuncLit:
-			if capturesLocal(pass, fd, n) {
-				pass.Reportf(n.Pos(), "hotpath function %s creates a closure capturing local variables (heap escape)", name)
+			if capturesLocal(info, fd, n) {
+				emit(n.Pos(), "creates a closure capturing local variables (heap escape)")
 			}
 			// Report once per literal, but still scan its body for the
 			// other constructs.
 			return true
 		case *ast.CallExpr:
-			checkCall(pass, name, n, stack, bareSlices)
+			scanCall(info, n, stack, bareSlices, emit)
 		}
 		return true
 	})
 }
 
-func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, stack []ast.Node, bareSlices map[types.Object]bool) {
+func scanCall(info *types.Info, call *ast.CallExpr, stack []ast.Node, bareSlices map[types.Object]bool, emit func(token.Pos, string)) {
 	// make(map[...]..., ...) / make(chan ...): sized slices stay legal.
 	if id, ok := call.Fun.(*ast.Ident); ok {
-		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				switch pass.TypesInfo.Types[call].Type.Underlying().(type) {
+				switch info.Types[call].Type.Underlying().(type) {
 				case *types.Map:
-					pass.Reportf(call.Pos(), "hotpath function %s allocates with make(map)", name)
+					emit(call.Pos(), "allocates with make(map)")
 				case *types.Chan:
-					pass.Reportf(call.Pos(), "hotpath function %s allocates with make(chan)", name)
+					emit(call.Pos(), "allocates with make(chan)")
 				}
 			case "append":
 				if len(call.Args) > 0 && inLoop(stack) {
-					if base, ok := call.Args[0].(*ast.Ident); ok && bareSlices[pass.TypesInfo.Uses[base]] {
-						pass.Reportf(call.Pos(), "hotpath function %s grows unsized slice %s with append inside a loop", name, base.Name)
+					if base, ok := call.Args[0].(*ast.Ident); ok && bareSlices[info.Uses[base]] {
+						emit(call.Pos(), "grows unsized slice "+base.Name+" with append inside a loop")
 					}
 				}
 			}
@@ -108,20 +121,20 @@ func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, stack []ast
 
 	// fmt.* calls outside return statements.
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
 			if !inReturn(stack) {
-				pass.Reportf(call.Pos(), "hotpath function %s calls fmt.%s outside a return statement", name, sel.Sel.Name)
+				emit(call.Pos(), "calls fmt."+sel.Sel.Name+" outside a return statement")
 			}
 			return
 		}
 	}
 
 	// Explicit conversion to an interface type boxes the operand.
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		if types.IsInterface(tv.Type) {
-			if argT := pass.TypesInfo.Types[call.Args[0]].Type; argT != nil && !types.IsInterface(argT) {
+			if argT := info.Types[call.Args[0]].Type; argT != nil && !types.IsInterface(argT) {
 				if b, ok := argT.Underlying().(*types.Basic); !ok || b.Kind() != types.UntypedNil {
-					pass.Reportf(call.Pos(), "hotpath function %s converts %s to interface %s (boxes on the heap)", name, argT, tv.Type)
+					emit(call.Pos(), "converts "+argT.String()+" to interface "+tv.Type.String()+" (boxes on the heap)")
 				}
 			}
 		}
@@ -130,7 +143,7 @@ func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, stack []ast
 
 // collectBareSlices returns the objects of `var x []T` declarations (no
 // initializer) in fd — append targets that grow without bound.
-func collectBareSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+func collectBareSlices(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
 	bare := map[types.Object]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		decl, ok := n.(*ast.DeclStmt)
@@ -147,7 +160,7 @@ func collectBareSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]b
 				continue
 			}
 			for _, id := range vs.Names {
-				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				if obj := info.Defs[id]; obj != nil {
 					if _, ok := obj.Type().Underlying().(*types.Slice); ok {
 						bare[obj] = true
 					}
@@ -162,7 +175,7 @@ func collectBareSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]b
 // capturesLocal reports whether lit references a variable declared in fd
 // outside lit itself (a capture, which forces the closure and captured
 // vars to the heap).
-func capturesLocal(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+func capturesLocal(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
 	captured := false
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		if captured {
@@ -172,7 +185,7 @@ func capturesLocal(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool
 		if !ok {
 			return true
 		}
-		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		v, ok := info.Uses[id].(*types.Var)
 		if !ok || v.IsField() {
 			return true
 		}

@@ -1,0 +1,518 @@
+// Package lockorder lifts guardedby's structural Lock/Unlock replay from
+// one function body to the whole program: every place mutex A is held
+// while mutex B is acquired — directly, or through a call whose callee
+// transitively acquires B — adds the edge A→B to a global lock-order
+// graph, and any cycle in that graph is a potential deadlock, reported
+// once with the acquisition sites that close it.
+//
+// Mutex identity is structural, not per-instance: a mutex field is
+// "pkg/path.Struct.field", a package-level mutex var is "pkg/path.var",
+// and a type with an embedded sync.Mutex locked through method calls is
+// "pkg/path.Type". Two instances of the same struct therefore share a key
+// — exactly the approximation that catches AB/BA deadlocks between
+// instances, at the cost of flagging the (rare, and here absent) ordered
+// self-lock idiom. Local mutex variables have no stable identity and are
+// skipped.
+//
+// The replay mirrors guardedby's model: sequential statements mutate the
+// held set, branch bodies replay against a copy, `defer mu.Unlock()`
+// releases after everything (so it never removes a hold), closures replay
+// with a fresh held set, and `go`/`defer` calls are unordered with the
+// current holds and contribute nothing interprocedurally. Callee lock
+// summaries (the set of keys a function transitively acquires, closures
+// excluded — a closure's acquires usually happen on another goroutine)
+// come from a fixpoint over the call graph; dynamic (⊤) sites contribute
+// nothing, same trade as allocflow and ctxflow.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"muzzle/internal/lint/analysis"
+	"muzzle/internal/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "report lock-order cycles (potential deadlocks) across the whole program\n\n" +
+		"Replays Lock/Unlock structurally in every function; mutex A held while\n" +
+		"acquiring mutex B — directly or through a call chain — adds edge A→B to a\n" +
+		"global graph. A cycle is reported once, at its earliest closing edge, with\n" +
+		"both acquisition sites.",
+	Run: run,
+}
+
+// edge is one observed ordering: from held while to acquired.
+type edge struct {
+	from, to string
+	fromSite token.Pos // where `from` was acquired
+	toSite   token.Pos // where `to` was acquired (or the call that leads there)
+	via      string    // callee FuncID when the acquisition is interprocedural
+}
+
+// cycleReport is one strongly connected component of the order graph.
+type cycleReport struct {
+	anchor token.Pos
+	msg    string
+}
+
+func run(pass *analysis.Pass) error {
+	prog := pass.Program
+	if prog == nil {
+		return nil
+	}
+	cycles := prog.Memo("lockorder", func() any { return analyze(prog) }).([]cycleReport)
+	for _, c := range cycles {
+		// The pass owning the anchor position reports; everyone else stays
+		// quiet so a whole-program cycle shows up exactly once.
+		if u := prog.UnitAt(c.anchor); u != nil && u.Pkg.Path() == pass.Pkg.Path() {
+			pass.Reportf(c.anchor, "%s", c.msg)
+		}
+	}
+	return nil
+}
+
+func analyze(prog *callgraph.Program) []cycleReport {
+	trans := lockSummaries(prog)
+	edges := map[[2]string]edge{}
+	addEdge := func(e edge) {
+		k := [2]string{e.from, e.to}
+		if _, seen := edges[k]; !seen {
+			edges[k] = e
+		}
+	}
+	for _, n := range prog.Nodes {
+		if inTestFile(prog.Fset, n.Decl.Pos()) {
+			continue
+		}
+		r := &replayer{prog: prog, u: n.Unit, trans: trans, add: addEdge, sites: map[token.Pos]string{}}
+		for _, e := range n.Out {
+			r.sites[e.Site] = e.CalleeID
+		}
+		r.stmts(n.Decl.Body.List, map[string]token.Pos{})
+	}
+	return cycles(prog.Fset, edges)
+}
+
+// lockSummaries computes, per function, the set of mutex keys it
+// transitively acquires (closures excluded), with one example site each.
+func lockSummaries(prog *callgraph.Program) map[string]map[string]token.Pos {
+	trans := make(map[string]map[string]token.Pos, len(prog.Nodes))
+	for _, n := range prog.Nodes {
+		acq := map[string]token.Pos{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if _, ok := node.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := node.(*ast.CallExpr); ok {
+				if key, site, acquire, ok := lockCall(n.Unit, call); ok && acquire {
+					if _, seen := acq[key]; !seen {
+						acq[key] = site
+					}
+				}
+			}
+			return true
+		})
+		trans[n.ID] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.Nodes {
+			mine := trans[n.ID]
+			for _, e := range n.Out {
+				for key, site := range trans[e.CalleeID] {
+					if _, seen := mine[key]; !seen {
+						mine[key] = site
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return trans
+}
+
+// lockCall classifies call as an acquire/release of a stably identified
+// mutex. ok=false for non-lock calls and for locks with no stable identity
+// (local mutex variables).
+func lockCall(u *callgraph.Unit, call *ast.CallExpr) (key string, site token.Pos, acquire, ok bool) {
+	method, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false, false
+	}
+	fn, isFn := u.Info.Uses[method.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", 0, false, false
+	}
+	key = mutexKey(u, method.X)
+	if key == "" {
+		return "", 0, false, false
+	}
+	return key, call.Lparen, acquire, true
+}
+
+// mutexKey derives the structural identity of the mutex expression e, or
+// "" when none exists.
+func mutexKey(u *callgraph.Unit, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, isField := u.Info.Selections[x]; isField && sel.Kind() == types.FieldVal {
+			// m.mu.Lock(): key the field on its declaring struct.
+			if named := analysis.Named(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Obj().Name()
+			}
+			return ""
+		}
+		// pkg.Mu.Lock(): qualified package-level var.
+		if v, isVar := u.Info.Uses[x.Sel].(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		v, isVar := u.Info.Uses[x].(*types.Var)
+		if !isVar {
+			return ""
+		}
+		// A receiver or local whose type embeds sync.Mutex: lock identity is
+		// the type itself (s.Lock() on *Store → "pkg.Store").
+		if named := analysis.Named(v.Type()); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+		// Package-level mutex var.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return "" // local sync.Mutex: no stable identity
+	default:
+		if named := analysis.Named(u.Info.Types[ast.Unparen(e)].Type); named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+		return ""
+	}
+}
+
+// replayer walks one function body maintaining the held set.
+type replayer struct {
+	prog  *callgraph.Program
+	u     *callgraph.Unit
+	trans map[string]map[string]token.Pos
+	sites map[token.Pos]string // call site → callee FuncID
+	add   func(edge)
+}
+
+func (r *replayer) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		r.stmt(s, held)
+	}
+}
+
+func (r *replayer) stmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		r.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			r.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			r.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			r.expr(e, held)
+		}
+	case *ast.BlockStmt:
+		r.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		r.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			r.stmt(s.Init, held)
+		}
+		r.expr(s.Cond, held)
+		r.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			r.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		if s.Init != nil {
+			r.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			r.expr(s.Cond, inner)
+		}
+		r.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			r.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		r.expr(s.X, held)
+		r.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			r.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			r.expr(s.Tag, held)
+		}
+		r.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			r.stmt(s.Init, held)
+		}
+		r.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		r.clauses(s.Body, held)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Unordered with the current holds: a goroutine races, a deferred
+		// call runs after every statement below. Closure literals inside
+		// still replay (with a fresh held set) via expr's FuncLit case.
+		var call *ast.CallExpr
+		if g, isGo := s.(*ast.GoStmt); isGo {
+			call = g.Call
+		} else {
+			call = s.(*ast.DeferStmt).Call
+		}
+		for _, a := range append([]ast.Expr{call.Fun}, call.Args...) {
+			if lit, isLit := ast.Unparen(a).(*ast.FuncLit); isLit {
+				r.stmts(lit.Body.List, map[string]token.Pos{})
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, isGen := s.Decl.(*ast.GenDecl); isGen {
+			for _, spec := range gd.Specs {
+				if vs, isVal := spec.(*ast.ValueSpec); isVal {
+					for _, e := range vs.Values {
+						r.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		r.expr(s.Chan, held)
+		r.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		r.expr(s.X, held)
+	}
+}
+
+func (r *replayer) clauses(body *ast.BlockStmt, held map[string]token.Pos) {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			inner := copyHeld(held)
+			for _, e := range c.List {
+				r.expr(e, inner)
+			}
+			r.stmts(c.Body, inner)
+		case *ast.CommClause:
+			inner := copyHeld(held)
+			if c.Comm != nil {
+				r.stmt(c.Comm, inner)
+			}
+			r.stmts(c.Body, inner)
+		}
+	}
+}
+
+// expr scans e for calls in syntactic order, applying lock operations to
+// held and callee summaries across non-lock calls.
+func (r *replayer) expr(e ast.Expr, held map[string]token.Pos) {
+	ast.Inspect(e, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.FuncLit:
+			r.stmts(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.CallExpr:
+			r.call(n, held)
+		}
+		return true
+	})
+}
+
+func (r *replayer) call(call *ast.CallExpr, held map[string]token.Pos) {
+	if key, site, acquire, ok := lockCall(r.u, call); ok {
+		if acquire {
+			for h, hs := range held {
+				if h != key {
+					r.add(edge{from: h, to: key, fromSite: hs, toSite: site})
+				}
+			}
+			if _, already := held[key]; !already {
+				held[key] = site
+			}
+		} else {
+			delete(held, key)
+		}
+		return
+	}
+	calleeID, resolved := r.sites[call.Lparen]
+	if !resolved || len(held) == 0 {
+		return
+	}
+	for l := range r.trans[calleeID] {
+		for h, hs := range held {
+			if h != l {
+				r.add(edge{from: h, to: l, fromSite: hs, toSite: call.Lparen, via: calleeID})
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// cycles finds the strongly connected components of the order graph and
+// renders one report per non-trivial component.
+func cycles(fset *token.FileSet, edges map[[2]string]edge) []cycleReport {
+	adj := map[string][]string{}
+	var keys []string
+	seen := map[string]bool{}
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		for _, n := range []string{k[0], k[1]} {
+			if !seen[n] {
+				seen[n] = true
+				keys = append(keys, n)
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, n := range keys {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan SCC, recursive — lock graphs here have a handful of nodes.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+	var strong func(v string)
+	strong = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, visited := index[w]; !visited {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for _, n := range keys {
+		if _, visited := index[n]; !visited {
+			strong(n)
+		}
+	}
+
+	var reports []cycleReport
+	for _, comp := range comps {
+		in := map[string]bool{}
+		for _, n := range comp {
+			in[n] = true
+		}
+		var cedges []edge
+		for k, e := range edges {
+			if in[k[0]] && in[k[1]] {
+				cedges = append(cedges, e)
+			}
+		}
+		sort.Slice(cedges, func(i, j int) bool {
+			if cedges[i].from != cedges[j].from {
+				return cedges[i].from < cedges[j].from
+			}
+			return cedges[i].to < cedges[j].to
+		})
+		anchor := cedges[0].toSite
+		for _, e := range cedges {
+			if e.toSite < anchor {
+				anchor = e.toSite
+			}
+		}
+		parts := make([]string, len(cedges))
+		for i, e := range cedges {
+			via := ""
+			if e.via != "" {
+				via = " via " + displayName(e.via)
+			}
+			parts[i] = fmt.Sprintf("%s (held since %s) → %s acquired at %s%s",
+				displayName(e.from), shortPos(fset, e.fromSite),
+				displayName(e.to), shortPos(fset, e.toSite), via)
+		}
+		sort.Strings(comp)
+		reports = append(reports, cycleReport{
+			anchor: anchor,
+			msg: fmt.Sprintf("potential deadlock: lock order cycle among %s: %s",
+				strings.Join(mapNames(comp), ", "), strings.Join(parts, "; ")),
+		})
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].anchor < reports[j].anchor })
+	return reports
+}
+
+func mapNames(keys []string) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = displayName(k)
+	}
+	return out
+}
+
+func displayName(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}

@@ -1,0 +1,34 @@
+// Package helper holds the allocating callees for the allocflow fixture:
+// the hotpath functions live one package over (afix/hot), so the
+// may-allocate verdicts must cross a package boundary to reach them.
+package helper
+
+// BuildIndex allocates directly.
+func BuildIndex(n int) map[int]int {
+	return make(map[int]int, n)
+}
+
+// Add is clean.
+func Add(a, b int) int { return a + b }
+
+// Chain allocates only transitively, through BuildIndex.
+func Chain(n int) map[int]int { return BuildIndex(n) }
+
+// Waived allocates, deliberately: callers stay quiet.
+//
+//muzzle:allocok fixture: cold-path index rebuild, amortized across calls
+func Waived() map[int]int { return BuildIndex(1) }
+
+// BadWaiver carries a waiver with no justification.
+//
+//muzzle:allocok
+func BadWaiver() map[int]int { // want `muzzle:allocok waiver on BadWaiver is missing a reason`
+	return BuildIndex(1)
+}
+
+// CleanButWaived no longer allocates; its waiver is stale.
+//
+//muzzle:allocok fixture: left over from an allocating past
+func CleanButWaived(a, b int) int { // want `stale muzzle:allocok waiver on CleanButWaived`
+	return Add(a, b)
+}

@@ -1,0 +1,60 @@
+// Package hot holds the //muzzle:hotpath functions of the allocflow
+// fixture; their allocating callees live in afix/helper.
+package hot
+
+import "afix/helper"
+
+// Clean only reaches non-allocating code.
+//
+//muzzle:hotpath
+func Clean(n int) int {
+	return helper.Add(n, 1)
+}
+
+// CallsAllocator reaches an allocator one hop away.
+//
+//muzzle:hotpath
+func CallsAllocator(n int) int {
+	m := helper.BuildIndex(n) // want `hotpath function CallsAllocator calls helper\.BuildIndex, which allocates with make\(map\)`
+	return len(m)
+}
+
+// CallsChain reaches the allocator two hops away; the message carries the
+// chain.
+//
+//muzzle:hotpath
+func CallsChain(n int) int {
+	m := helper.Chain(n) // want `hotpath function CallsChain calls helper\.Chain → helper\.BuildIndex, which allocates with make\(map\)`
+	return len(m)
+}
+
+// CallsWaived reaches only a waived allocator: quiet.
+//
+//muzzle:hotpath
+func CallsWaived(n int) int {
+	m := helper.Waived()
+	return len(m) + n
+}
+
+// localHelper is module-local and clean; calling it is fine.
+func localHelper(n int) int { return n * 2 }
+
+// Local verifies same-package propagation too.
+//
+//muzzle:hotpath
+func Local(n int) int {
+	return localHelper(n)
+}
+
+// localAllocator allocates in the same package as the hotpath caller.
+func localAllocator(n int) []int {
+	out := []int{n} // construct: slice literal
+	return out
+}
+
+// CallsLocalAllocator reaches it without crossing a package.
+//
+//muzzle:hotpath
+func CallsLocalAllocator(n int) int {
+	return len(localAllocator(n)) // want `hotpath function CallsLocalAllocator calls hot\.localAllocator, which allocates a slice literal`
+}

@@ -1,0 +1,54 @@
+// Package a exercises every resolution mechanism of the call-graph
+// engine; TestCallgraph asserts on the resulting node/edge shapes rather
+// than on diagnostics.
+package a
+
+type T struct{ v int }
+
+func (t T) M() int { return t.v }
+
+func F() int { return 2 }
+
+type I interface{ M() int }
+
+// Direct calls a package function.
+func Direct() int { return F() }
+
+// MethodCall calls through the static receiver type.
+func MethodCall(t T) int { return t.M() }
+
+// MethodValue binds a method value once, then calls it.
+func MethodValue(t T) int {
+	f := t.M
+	return f()
+}
+
+// FuncValue binds a function value once, then calls it.
+func FuncValue() int {
+	g := F
+	return g()
+}
+
+// Closure calls a func literal bound to a local; the literal's body (and
+// its call to F) belongs to Closure's node, and the invocation resolves
+// silently.
+func Closure() int {
+	h := func() int { return F() }
+	return h()
+}
+
+// Iface dispatches through an interface: unresolvable, recorded as ⊤.
+func Iface(i I) int { return i.M() }
+
+// Reassigned kills the single-assignment binding: the call is ⊤.
+func Reassigned(t T) int {
+	g := F
+	g = t.M
+	return g()
+}
+
+// MethodExpr calls through a method expression, which resolves statically.
+func MethodExpr(t T) int { return T.M(t) }
+
+// Conversion is not a call: the node has no edges and no dynamic sites.
+func Conversion(x int) int64 { return int64(x) }

@@ -136,7 +136,7 @@ func New(cfg Config) *Manager {
 		cfg.WorkerID = newJobID()
 	}
 	host, _ := os.Hostname()
-	ctx, stop := context.WithCancel(context.Background())
+	ctx, stop := context.WithCancel(context.Background()) //muzzle:ctx-background daemon lifecycle root: jobs outlive any one request; Close cancels it
 	m := &Manager{
 		cfg:      cfg,
 		start:    time.Now(),

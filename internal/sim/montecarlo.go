@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -99,11 +100,22 @@ func splitMix64(seed int64, chunk int) int64 {
 // product, so the sampler is primarily a consistency check and a base for
 // extensions with correlated errors; it also gives confidence intervals,
 // which the analytic number alone does not.
+//
+//muzzle:ctx-background legacy ctx-less API; cancelable callers use SampleSuccessContext
 func SampleSuccess(cfg machine.Config, initial [][]int, ops []machine.Op, params Params, trials int, seed int64) (*SuccessEstimate, error) {
+	return SampleSuccessContext(context.Background(), cfg, initial, ops, params, trials, seed)
+}
+
+// SampleSuccessContext is SampleSuccess with cooperative cancellation: the
+// analytic replay aborts at its usual stride, and each worker re-checks ctx
+// between trial chunks, so a canceled request stops burning CPU within one
+// chunk (~mcChunk trials) per worker. A canceled run returns ctx.Err() —
+// never a partial estimate, which would be statistically meaningless.
+func SampleSuccessContext(ctx context.Context, cfg machine.Config, initial [][]int, ops []machine.Op, params Params, trials int, seed int64) (*SuccessEstimate, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
 	}
-	rep, err := Simulate(cfg, initial, ops, params)
+	rep, err := SimulateContext(ctx, cfg, initial, ops, params)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +134,7 @@ func SampleSuccess(cfg machine.Config, initial [][]int, ops []machine.Op, params
 			defer wg.Done()
 			for {
 				c := int(next.Add(1)) - 1
-				if c >= chunks {
+				if c >= chunks || ctx.Err() != nil {
 					return
 				}
 				n := mcChunk
@@ -148,6 +160,9 @@ func SampleSuccess(cfg machine.Config, initial [][]int, ops []machine.Op, params
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	return newSuccessEstimate(int(successes.Load()), trials, rep.Fidelity), nil
 }

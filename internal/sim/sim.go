@@ -164,6 +164,8 @@ type Report struct {
 // the placement snapshot taken before compilation) under params. The initial
 // placement must be the pre-execution snapshot so chain sizes during replay
 // match what the compiler saw.
+//
+//muzzle:ctx-background legacy ctx-less API; cancelable callers use SimulateContext
 func Simulate(cfg machine.Config, initial [][]int, ops []machine.Op, params Params) (*Report, error) {
 	return SimulateContext(context.Background(), cfg, initial, ops, params)
 }

@@ -281,8 +281,18 @@ type SuccessEstimate = sim.SuccessEstimate
 // SampleSuccess estimates program success probability by Monte Carlo:
 // each gate fails independently with probability 1 - F(gate); a trial
 // succeeds when no gate fails.
+//
+// Deprecated: use SampleSuccessContext, which cancels the sampling workers
+// when ctx fires instead of running every trial to completion.
 func SampleSuccess(res *CompileResult, trials int, seed int64) (*SuccessEstimate, error) {
 	return sim.SampleSuccess(res.Config, res.InitialPlacement, res.Ops, sim.DefaultParams(), trials, seed)
+}
+
+// SampleSuccessContext is SampleSuccess with cooperative cancellation: the
+// analytic replay and every sampling worker observe ctx, so a canceled
+// caller stops the estimate within one trial chunk.
+func SampleSuccessContext(ctx context.Context, res *CompileResult, trials int, seed int64) (*SuccessEstimate, error) {
+	return sim.SampleSuccessContext(ctx, res.Config, res.InitialPlacement, res.Ops, sim.DefaultParams(), trials, seed)
 }
 
 // Benchmarks returns the paper's five NISQ benchmarks (Table II).
